@@ -1,0 +1,47 @@
+// Ablation: eager vs lazy diff creation for the homeless protocol (paper
+// §2.1: "The LRC protocol creates diffs either eagerly, at the end of each
+// interval, or lazily, on demand" — TreadMarks chose lazily).
+//
+// Shape to check: single-writer apps (SOR, LU) create thousands of diffs that
+// nobody ever fetches, so lazy diffing removes most diff-creation time from
+// the writers; for migratory apps most diffs do get fetched and the policies
+// converge (the work just moves from interval end to the request path).
+#include <cstdio>
+
+#include "bench/bench_util.h"
+
+namespace hlrc {
+namespace bench {
+namespace {
+
+int Main(int argc, char** argv) {
+  BenchOptions opts = ParseArgs(argc, argv);
+  const int nodes = opts.node_counts.size() > 1 ? opts.node_counts[1] : opts.node_counts[0];
+
+  std::printf("=== Ablation: LRC diff-creation policy (%d nodes) ===\n\n", nodes);
+  Table table("");
+  table.SetHeader({"Application", "Policy", "Time(s)", "Diff-create CPU (ms, total)",
+                   "Diffs created", "Diff requests"});
+  for (const std::string& app : opts.apps) {
+    for (DiffPolicy policy : {DiffPolicy::kEager, DiffPolicy::kLazy}) {
+      SimConfig cfg = BaseConfig(opts, ProtocolKind::kLrc, nodes);
+      cfg.protocol.diff_policy = policy;
+      const AppRunResult r = RunVerified(app, opts, cfg);
+      const NodeReport totals = r.report.Totals();
+      table.AddRow({app, DiffPolicyName(policy), FmtSeconds(r.report.total_time),
+                    Table::Fmt(ToMillis(totals.cpu_busy.Get(BusyCat::kDiffCreate)), 1),
+                    Table::Fmt(totals.proto.diffs_created),
+                    Table::Fmt(totals.proto.diff_requests_sent)});
+      std::fflush(stdout);
+    }
+    table.AddSeparator();
+  }
+  table.Print();
+  return 0;
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace hlrc
+
+int main(int argc, char** argv) { return hlrc::bench::Main(argc, argv); }

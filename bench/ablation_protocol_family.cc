@@ -1,0 +1,63 @@
+// Ablation: the full protocol family — the paper's four (LRC, OLRC, HLRC,
+// OHLRC) plus the two reconstructed relatives: ERC (eager update broadcast,
+// the §1 "RC propagates updates on release" baseline) and AURC (the
+// automatic-update hardware protocol HLRC was derived from, §2.2).
+//
+// Shapes to check: ERC collapses with node count (O(N) update messages per
+// dirty page and releases that stall on acknowledgements) — the historical
+// reason lazy protocols won; AURC tracks or beats HLRC in time (zero software
+// update-detection cost) while moving more update bytes (write-through).
+#include <cstdio>
+
+#include "bench/bench_util.h"
+
+namespace hlrc {
+namespace bench {
+namespace {
+
+int Main(int argc, char** argv) {
+  BenchOptions opts = ParseArgs(argc, argv);
+  if (opts.apps.size() == 5) {
+    opts.apps = {"sor", "water-nsq"};
+  }
+  const ProtocolKind family[] = {ProtocolKind::kErc,  ProtocolKind::kLrc,
+                                 ProtocolKind::kOlrc, ProtocolKind::kHlrc,
+                                 ProtocolKind::kOhlrc, ProtocolKind::kAurc};
+
+  std::printf("=== Ablation: protocol family (ERC vs LRC vs HLRC vs AURC) ===\n\n");
+  for (const std::string& app : opts.apps) {
+    const SimTime seq = SequentialTime(app, opts);
+    Table table(app + " (T_seq = " + FmtSeconds(seq) + "s)");
+    std::vector<std::string> header = {"Protocol"};
+    for (int nodes : opts.node_counts) {
+      header.push_back("Speedup/" + std::to_string(nodes));
+    }
+    header.push_back("Msgs/64");
+    header.push_back("Update bytes/64");
+    table.SetHeader(header);
+
+    for (ProtocolKind kind : family) {
+      std::vector<std::string> row = {ProtocolName(kind)};
+      NodeReport last_totals;
+      for (int nodes : opts.node_counts) {
+        const AppRunResult r = RunVerified(app, opts, BaseConfig(opts, kind, nodes));
+        row.push_back(Table::Fmt(
+            static_cast<double>(seq) / static_cast<double>(r.report.total_time), 2));
+        last_totals = r.report.Totals();
+        std::fflush(stdout);
+      }
+      row.push_back(Table::Fmt(last_totals.traffic.msgs_sent));
+      row.push_back(Table::FmtBytes(last_totals.traffic.update_bytes_sent));
+      table.AddRow(row);
+    }
+    table.Print();
+    std::printf("\n");
+  }
+  return 0;
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace hlrc
+
+int main(int argc, char** argv) { return hlrc::bench::Main(argc, argv); }

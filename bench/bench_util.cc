@@ -1,0 +1,151 @@
+#include "bench/bench_util.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+#include "src/common/check.h"
+
+namespace hlrc {
+namespace bench {
+namespace {
+
+std::vector<std::string> Split(const std::string& s, char sep) {
+  std::vector<std::string> out;
+  size_t start = 0;
+  while (start <= s.size()) {
+    const size_t end = s.find(sep, start);
+    if (end == std::string::npos) {
+      out.push_back(s.substr(start));
+      break;
+    }
+    out.push_back(s.substr(start, end - start));
+    start = end + 1;
+  }
+  return out;
+}
+
+ProtocolKind ParseProtocol(const std::string& s) {
+  if (s == "lrc") {
+    return ProtocolKind::kLrc;
+  }
+  if (s == "olrc") {
+    return ProtocolKind::kOlrc;
+  }
+  if (s == "hlrc") {
+    return ProtocolKind::kHlrc;
+  }
+  if (s == "ohlrc") {
+    return ProtocolKind::kOhlrc;
+  }
+  HLRC_CHECK_MSG(false, "unknown protocol '%s'", s.c_str());
+  return ProtocolKind::kLrc;
+}
+
+[[noreturn]] void Usage(const char* argv0) {
+  std::fprintf(stderr,
+               "usage: %s [--nodes=8,32,64] [--scale=tiny|default|paper]\n"
+               "          [--apps=lu,sor,water-nsq,water-sp,raytrace]\n"
+               "          [--protocols=lrc,olrc,hlrc,ohlrc] [--page-size=N]\n"
+               "          [--home=block|round-robin|single-node] [--no-verify]\n",
+               argv0);
+  std::exit(2);
+}
+
+}  // namespace
+
+BenchOptions ParseArgs(int argc, char** argv) {
+  BenchOptions opts;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto value = [&](const char* prefix) -> std::string {
+      return arg.substr(std::strlen(prefix));
+    };
+    if (arg.rfind("--nodes=", 0) == 0) {
+      opts.node_counts.clear();
+      for (const std::string& n : Split(value("--nodes="), ',')) {
+        opts.node_counts.push_back(std::atoi(n.c_str()));
+      }
+    } else if (arg.rfind("--scale=", 0) == 0) {
+      const std::string v = value("--scale=");
+      if (v == "tiny") {
+        opts.scale = AppScale::kTiny;
+      } else if (v == "default") {
+        opts.scale = AppScale::kDefault;
+      } else if (v == "paper") {
+        opts.scale = AppScale::kPaper;
+      } else {
+        Usage(argv[0]);
+      }
+    } else if (arg.rfind("--apps=", 0) == 0) {
+      opts.apps = Split(value("--apps="), ',');
+    } else if (arg.rfind("--protocols=", 0) == 0) {
+      opts.protocols.clear();
+      for (const std::string& p : Split(value("--protocols="), ',')) {
+        opts.protocols.push_back(ParseProtocol(p));
+      }
+    } else if (arg.rfind("--page-size=", 0) == 0) {
+      opts.page_size = std::atoll(value("--page-size=").c_str());
+    } else if (arg.rfind("--home=", 0) == 0) {
+      const std::string v = value("--home=");
+      if (v == "block") {
+        opts.home_policy = HomePolicy::kBlock;
+      } else if (v == "round-robin") {
+        opts.home_policy = HomePolicy::kRoundRobin;
+      } else if (v == "single-node") {
+        opts.home_policy = HomePolicy::kSingleNode;
+      } else {
+        Usage(argv[0]);
+      }
+    } else if (arg == "--no-verify") {
+      opts.verify = false;
+    } else if (arg == "--help" || arg == "-h") {
+      Usage(argv[0]);
+    } else {
+      std::fprintf(stderr, "unknown flag: %s\n", arg.c_str());
+      Usage(argv[0]);
+    }
+  }
+  if (opts.apps.empty()) {
+    opts.apps = AppNames();
+  }
+  return opts;
+}
+
+SimConfig BaseConfig(const BenchOptions& opts, ProtocolKind kind, int nodes) {
+  SimConfig cfg;
+  cfg.nodes = nodes;
+  cfg.page_size = opts.page_size;
+  cfg.shared_bytes = 256ll << 20;  // Mirrors are lazily backed; size generously.
+  cfg.protocol.kind = kind;
+  cfg.protocol.home_policy = opts.home_policy;
+  return cfg;
+}
+
+AppRunResult RunVerified(const std::string& app_name, const BenchOptions& opts,
+                         const SimConfig& cfg) {
+  auto app = MakeApp(app_name, opts.scale);
+  AppRunResult result = RunApp(*app, cfg);
+  if (opts.verify) {
+    HLRC_CHECK_MSG(result.verified, "%s failed verification under %s at %d nodes: %s",
+                   app_name.c_str(), ProtocolName(cfg.protocol.kind), cfg.nodes,
+                   result.why.c_str());
+  }
+  return result;
+}
+
+SimTime SequentialTime(const std::string& app_name, const BenchOptions& opts) {
+  const SimConfig cfg = BaseConfig(opts, ProtocolKind::kHlrc, 1);
+  const AppRunResult result = RunVerified(app_name, opts, cfg);
+  // Pure computation: what a uniprocessor (no SVM) would take.
+  return result.report.nodes[0].cpu_busy.Get(BusyCat::kCompute);
+}
+
+std::string FmtSeconds(SimTime t) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.2f", ToSeconds(t));
+  return buf;
+}
+
+}  // namespace bench
+}  // namespace hlrc

@@ -1,0 +1,47 @@
+// Shared harness for the table/figure reproduction binaries.
+#ifndef BENCH_BENCH_UTIL_H_
+#define BENCH_BENCH_UTIL_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "src/apps/app.h"
+#include "src/common/table.h"
+#include "src/svm/system.h"
+
+namespace hlrc {
+namespace bench {
+
+struct BenchOptions {
+  std::vector<int> node_counts = {8, 32, 64};
+  AppScale scale = AppScale::kDefault;
+  std::vector<ProtocolKind> protocols = {ProtocolKind::kLrc, ProtocolKind::kOlrc,
+                                         ProtocolKind::kHlrc, ProtocolKind::kOhlrc};
+  std::vector<std::string> apps;  // Empty => all five.
+  int64_t page_size = 4096;
+  HomePolicy home_policy = HomePolicy::kBlock;
+  bool verify = true;
+};
+
+// Parses --nodes=8,32,64 --scale=tiny|default|paper --apps=lu,sor
+// --protocols=lrc,hlrc --page-size=4096. Unknown flags abort with usage.
+BenchOptions ParseArgs(int argc, char** argv);
+
+SimConfig BaseConfig(const BenchOptions& opts, ProtocolKind kind, int nodes);
+
+// Runs one application once; aborts if verification fails (a benchmark on an
+// incorrect run would be meaningless).
+AppRunResult RunVerified(const std::string& app_name, const BenchOptions& opts,
+                         const SimConfig& cfg);
+
+// Virtual time of the uniprocessor computation (the paper's "sequential
+// execution time" baseline): the pure compute time of a 1-node run.
+SimTime SequentialTime(const std::string& app_name, const BenchOptions& opts);
+
+std::string FmtSeconds(SimTime t);
+
+}  // namespace bench
+}  // namespace hlrc
+
+#endif  // BENCH_BENCH_UTIL_H_

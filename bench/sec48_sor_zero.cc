@@ -1,0 +1,67 @@
+// Reproduces the paper's §4.8 experiment: SOR with a zero interior. Interior
+// elements do not change for many iterations, so writes produce no diffs —
+// the conditions maximally favour LRC (single writer, single tiny diff per
+// interval) and penalize HLRC (whole-page transfers regardless). The paper
+// still measured HLRC ~10% ahead.
+#include <cstdio>
+
+#include "bench/bench_util.h"
+#include "src/apps/sor.h"
+
+namespace hlrc {
+namespace bench {
+namespace {
+
+int Main(int argc, char** argv) {
+  BenchOptions opts = ParseArgs(argc, argv);
+
+  std::printf("=== Section 4.8: SOR with zero-initialized interior ===\n\n");
+  Table table("");
+  table.SetHeader({"Init", "Nodes", "LRC time(s)", "HLRC time(s)", "HLRC/LRC", "LRC diffs",
+                   "HLRC diffs"});
+
+  for (const bool zero : {false, true}) {
+    for (int nodes : opts.node_counts) {
+      SorConfig scfg;
+      scfg.rows = 512;
+      scfg.cols = 512;
+      scfg.iterations = 10;
+      scfg.zero_interior = zero;
+      if (opts.scale == AppScale::kTiny) {
+        scfg.rows = scfg.cols = 128;
+        scfg.iterations = 4;
+      }
+
+      RunReport reports[2];
+      int64_t diffs[2] = {0, 0};
+      const ProtocolKind kinds[2] = {ProtocolKind::kLrc, ProtocolKind::kHlrc};
+      for (int k = 0; k < 2; ++k) {
+        SorApp app(scfg);
+        const AppRunResult r = RunApp(app, BaseConfig(opts, kinds[k], nodes));
+        HLRC_CHECK_MSG(r.verified, "SOR zero-interior failed verification: %s",
+                       r.why.c_str());
+        reports[k] = r.report;
+        diffs[k] = r.report.Totals().proto.diffs_created;
+      }
+      const double ratio = static_cast<double>(reports[1].total_time) /
+                           static_cast<double>(reports[0].total_time);
+      table.AddRow({zero ? "zero interior" : "random", Table::Fmt(static_cast<int64_t>(nodes)),
+                    FmtSeconds(reports[0].total_time), FmtSeconds(reports[1].total_time),
+                    Table::Fmt(ratio, 2), Table::Fmt(diffs[0]), Table::Fmt(diffs[1])});
+      std::fflush(stdout);
+    }
+    table.AddSeparator();
+  }
+  table.Print();
+  std::printf(
+      "\nShape to check: with a zero interior both protocols create almost no diffs\n"
+      "(unchanged pages are suppressed), and HLRC remains at least competitive\n"
+      "(paper: ~10%% better) even under these LRC-favourable conditions.\n");
+  return 0;
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace hlrc
+
+int main(int argc, char** argv) { return hlrc::bench::Main(argc, argv); }

@@ -1,0 +1,63 @@
+// Reproduces paper Table 1: benchmark applications, problem sizes, and
+// sequential execution times (virtual uniprocessor time under the i860
+// compute calibration).
+#include <cstdio>
+
+#include "bench/bench_util.h"
+#include "src/apps/lu.h"
+#include "src/apps/raytrace.h"
+#include "src/apps/sor.h"
+#include "src/apps/water_nsquared.h"
+#include "src/apps/water_spatial.h"
+
+namespace hlrc {
+namespace bench {
+namespace {
+
+std::string ProblemSize(const std::string& name, AppScale scale) {
+  auto app = MakeApp(name, scale);
+  if (name == "lu") {
+    const auto& cfg = static_cast<LuApp*>(app.get())->config();
+    return std::to_string(cfg.n) + "x" + std::to_string(cfg.n) + ", block " +
+           std::to_string(cfg.block);
+  }
+  if (name == "sor") {
+    const auto& cfg = static_cast<SorApp*>(app.get())->config();
+    return std::to_string(cfg.rows) + "x" + std::to_string(cfg.cols) + ", " +
+           std::to_string(cfg.iterations) + " iters";
+  }
+  if (name == "water-nsq") {
+    const auto& cfg = static_cast<WaterNsqApp*>(app.get())->config();
+    return std::to_string(cfg.molecules) + " molecules, " + std::to_string(cfg.steps) +
+           " steps";
+  }
+  if (name == "water-sp") {
+    const auto& cfg = static_cast<WaterSpApp*>(app.get())->config();
+    return std::to_string(cfg.molecules) + " molecules, " + std::to_string(cfg.cells) + "^3 cells";
+  }
+  const auto& cfg = static_cast<RaytraceApp*>(app.get())->config();
+  return std::to_string(cfg.width) + "x" + std::to_string(cfg.height) + ", " +
+         std::to_string(cfg.spheres) + " spheres";
+}
+
+int Main(int argc, char** argv) {
+  BenchOptions opts = ParseArgs(argc, argv);
+  std::printf("=== Table 1: Applications, problem sizes, sequential times ===\n\n");
+  Table table("");
+  table.SetHeader({"Application", "Problem size", "Sequential time (virtual s)"});
+  for (const std::string& app : opts.apps) {
+    table.AddRow({app, ProblemSize(app, opts.scale), FmtSeconds(SequentialTime(app, opts))});
+  }
+  table.Print();
+  std::printf(
+      "\nNote: the paper's problems (Table 1) ran ~1000-2000s sequential on a 50 MHz\n"
+      "i860; these are scaled-down defaults with the same sharing patterns. Run with\n"
+      "--scale=paper for the paper's sizes.\n");
+  return 0;
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace hlrc
+
+int main(int argc, char** argv) { return hlrc::bench::Main(argc, argv); }

@@ -1,0 +1,58 @@
+// Reproduces paper Table 2: speedups of the five applications under LRC,
+// OLRC, HLRC and OHLRC on 8, 32 and 64 nodes.
+//
+// Speedup = sequential (uniprocessor compute) time / parallel virtual time.
+// Absolute values depend on the compute calibration; the paper-relevant
+// shapes are (a) home-based >> homeless, (b) the gap grows with node count,
+// (c) overlapping adds a modest extra improvement.
+#include <cstdio>
+#include <map>
+
+#include "bench/bench_util.h"
+
+namespace hlrc {
+namespace bench {
+namespace {
+
+int Main(int argc, char** argv) {
+  BenchOptions opts = ParseArgs(argc, argv);
+
+  std::printf("=== Table 2: Speedups on the simulated Paragon ===\n");
+  std::printf("scale=%s page=%lld home=%s\n\n",
+              opts.scale == AppScale::kPaper
+                  ? "paper"
+                  : (opts.scale == AppScale::kTiny ? "tiny" : "default"),
+              static_cast<long long>(opts.page_size), HomePolicyName(opts.home_policy));
+
+  Table table("Speedups (T_seq / T_parallel)");
+  std::vector<std::string> header = {"Application", "T_seq(s)"};
+  for (int nodes : opts.node_counts) {
+    for (ProtocolKind kind : opts.protocols) {
+      header.push_back(std::string(ProtocolName(kind)) + "/" + std::to_string(nodes));
+    }
+  }
+  table.SetHeader(header);
+
+  for (const std::string& app : opts.apps) {
+    const SimTime seq = SequentialTime(app, opts);
+    std::vector<std::string> row = {app, FmtSeconds(seq)};
+    for (int nodes : opts.node_counts) {
+      for (ProtocolKind kind : opts.protocols) {
+        const AppRunResult r = RunVerified(app, opts, BaseConfig(opts, kind, nodes));
+        const double speedup =
+            static_cast<double>(seq) / static_cast<double>(r.report.total_time);
+        row.push_back(Table::Fmt(speedup, 2));
+        std::fflush(stdout);
+      }
+    }
+    table.AddRow(row);
+  }
+  table.Print();
+  return 0;
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace hlrc
+
+int main(int argc, char** argv) { return hlrc::bench::Main(argc, argv); }

@@ -1,0 +1,61 @@
+// Application interface for the five benchmark programs (paper §4.1).
+//
+// An App allocates its shared data in Setup(), returns a per-node coroutine
+// program, and verifies the parallel result against a sequential reference
+// after the run. Apps perform their real arithmetic on the shared pages (so
+// diff contents and sizes are exact) and charge virtual compute time through
+// NodeContext::ComputeFlops.
+#ifndef SRC_APPS_APP_H_
+#define SRC_APPS_APP_H_
+
+#include <memory>
+#include <string>
+
+#include "src/svm/system.h"
+
+namespace hlrc {
+
+class App {
+ public:
+  virtual ~App() = default;
+
+  virtual std::string name() const = 0;
+
+  // Allocates shared memory; called once before System::Run.
+  virtual void Setup(System& sys) = 0;
+
+  // The per-node program. Node 0 initializes shared data before barrier 0.
+  virtual System::Program Program() = 0;
+
+  // Verifies the converged shared state against a sequential reference.
+  // Returns true on success; fills `why` otherwise.
+  virtual bool Verify(System& sys, std::string* why) = 0;
+};
+
+// Problem scale presets.
+enum class AppScale {
+  kTiny,     // Unit-test sized; seconds of virtual time.
+  kDefault,  // Benchmark default (scaled-down paper problem).
+  kPaper,    // The paper's problem size (slow to simulate).
+};
+
+// Factory by name: "lu", "sor", "water-nsq", "water-sp", "raytrace", "fft".
+std::unique_ptr<App> MakeApp(const std::string& name, AppScale scale);
+
+// The five benchmark names evaluated in the paper, in its order.
+const std::vector<std::string>& AppNames();
+
+// All applications, including extensions beyond the paper's five (FFT).
+const std::vector<std::string>& AllAppNames();
+
+// Convenience: build a system, run the app, verify, and return the report.
+struct AppRunResult {
+  RunReport report;
+  bool verified = false;
+  std::string why;
+};
+AppRunResult RunApp(App& app, const SimConfig& config);
+
+}  // namespace hlrc
+
+#endif  // SRC_APPS_APP_H_

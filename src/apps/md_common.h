@@ -1,0 +1,52 @@
+// Shared molecular-dynamics helpers for the two Water applications.
+#ifndef SRC_APPS_MD_COMMON_H_
+#define SRC_APPS_MD_COMMON_H_
+
+#include <cstdint>
+
+namespace hlrc {
+namespace md {
+
+inline double Wrap(double d, double box) {
+  if (d > box / 2) {
+    return d - box;
+  }
+  if (d < -box / 2) {
+    return d + box;
+  }
+  return d;
+}
+
+// Soft Lennard-Jones-like pair force on molecule i from j with a cutoff.
+// Returns the flop count performed (cutoff-rejected pairs cost the distance
+// computation only).
+inline int64_t PairForce(const double* pos, int i, int j, double box, double cutoff2,
+                         double* fx, double* fy, double* fz) {
+  const double dx = Wrap(pos[i * 3 + 0] - pos[j * 3 + 0], box);
+  const double dy = Wrap(pos[i * 3 + 1] - pos[j * 3 + 1], box);
+  const double dz = Wrap(pos[i * 3 + 2] - pos[j * 3 + 2], box);
+  const double r2 = dx * dx + dy * dy + dz * dz;
+  if (r2 >= cutoff2 || r2 < 1e-12) {
+    *fx = *fy = *fz = 0;
+    return 12;
+  }
+  // Strongly softened so the force stays bounded (|f| <= ~8), and smoothly
+  // switched to zero at the cutoff. Both matter for verification: different
+  // protocols accumulate forces in different lock-grant orders, and with a
+  // discontinuous force a 1-ulp difference could flip a pair across the
+  // cutoff and produce a visible divergence. With a Lipschitz force the
+  // reassociation noise stays near machine epsilon.
+  const double inv2 = 1.0 / (r2 + 1.0);
+  const double inv6 = inv2 * inv2 * inv2;
+  const double window = 1.0 - r2 / cutoff2;
+  const double mag = 8.0 * inv6 * (2.0 * inv6 - 1.0) * inv2 * window * window;
+  *fx = mag * dx;
+  *fy = mag * dy;
+  *fz = mag * dz;
+  return 40;
+}
+
+}  // namespace md
+}  // namespace hlrc
+
+#endif  // SRC_APPS_MD_COMMON_H_

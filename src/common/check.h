@@ -1,0 +1,44 @@
+// Lightweight invariant-checking macros. A failed CHECK aborts: the simulator
+// is deterministic, so any violated invariant is a programming error, not a
+// recoverable condition.
+#ifndef SRC_COMMON_CHECK_H_
+#define SRC_COMMON_CHECK_H_
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace hlrc {
+
+[[noreturn]] inline void CheckFailed(const char* file, int line, const char* expr) {
+  std::fprintf(stderr, "CHECK failed at %s:%d: %s\n", file, line, expr);
+  std::abort();
+}
+
+}  // namespace hlrc
+
+#define HLRC_CHECK(expr)                                 \
+  do {                                                   \
+    if (!(expr)) {                                       \
+      ::hlrc::CheckFailed(__FILE__, __LINE__, #expr);    \
+    }                                                    \
+  } while (0)
+
+#define HLRC_CHECK_MSG(expr, ...)                        \
+  do {                                                   \
+    if (!(expr)) {                                       \
+      std::fprintf(stderr, "CHECK failed: ");            \
+      std::fprintf(stderr, __VA_ARGS__);                 \
+      std::fprintf(stderr, "\n");                        \
+      ::hlrc::CheckFailed(__FILE__, __LINE__, #expr);    \
+    }                                                    \
+  } while (0)
+
+#ifndef NDEBUG
+#define HLRC_DCHECK(expr) HLRC_CHECK(expr)
+#else
+#define HLRC_DCHECK(expr) \
+  do {                    \
+  } while (0)
+#endif
+
+#endif  // SRC_COMMON_CHECK_H_

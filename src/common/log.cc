@@ -1,0 +1,14 @@
+#include "src/common/log.h"
+
+namespace hlrc {
+namespace {
+
+LogLevel g_level = LogLevel::kError;
+
+}  // namespace
+
+LogLevel GetLogLevel() { return g_level; }
+
+void SetLogLevel(LogLevel level) { g_level = level; }
+
+}  // namespace hlrc

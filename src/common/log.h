@@ -1,0 +1,37 @@
+// Minimal leveled logger. Logging is off by default so benchmark output stays
+// clean; tests and debugging sessions can raise the level.
+#ifndef SRC_COMMON_LOG_H_
+#define SRC_COMMON_LOG_H_
+
+#include <cstdio>
+
+namespace hlrc {
+
+enum class LogLevel : int {
+  kNone = 0,
+  kError = 1,
+  kInfo = 2,
+  kDebug = 3,
+  kTrace = 4,
+};
+
+// Global log level; plain global because the simulator is single threaded.
+LogLevel GetLogLevel();
+void SetLogLevel(LogLevel level);
+
+}  // namespace hlrc
+
+#define HLRC_LOG(level, ...)                              \
+  do {                                                    \
+    if (::hlrc::GetLogLevel() >= (level)) {               \
+      std::fprintf(stderr, __VA_ARGS__);                  \
+      std::fprintf(stderr, "\n");                         \
+    }                                                     \
+  } while (0)
+
+#define HLRC_ERROR(...) HLRC_LOG(::hlrc::LogLevel::kError, __VA_ARGS__)
+#define HLRC_INFO(...) HLRC_LOG(::hlrc::LogLevel::kInfo, __VA_ARGS__)
+#define HLRC_DEBUG(...) HLRC_LOG(::hlrc::LogLevel::kDebug, __VA_ARGS__)
+#define HLRC_TRACE(...) HLRC_LOG(::hlrc::LogLevel::kTrace, __VA_ARGS__)
+
+#endif  // SRC_COMMON_LOG_H_

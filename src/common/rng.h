@@ -1,0 +1,50 @@
+// Deterministic pseudo-random number generation (SplitMix64 core). The
+// simulator never uses std::random_device or global state: every consumer owns
+// an Rng seeded explicitly, which keeps runs reproducible bit-for-bit.
+#ifndef SRC_COMMON_RNG_H_
+#define SRC_COMMON_RNG_H_
+
+#include <cstdint>
+
+#include "src/common/check.h"
+
+namespace hlrc {
+
+class Rng {
+ public:
+  explicit Rng(uint64_t seed) : state_(seed + 0x9e3779b97f4a7c15ULL) {}
+
+  uint64_t NextU64() {
+    state_ += 0x9e3779b97f4a7c15ULL;
+    uint64_t z = state_;
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+  }
+
+  // Uniform in [0, bound).
+  uint64_t NextBounded(uint64_t bound) {
+    HLRC_CHECK(bound > 0);
+    return NextU64() % bound;
+  }
+
+  // Uniform int in [lo, hi] inclusive.
+  int64_t NextInt(int64_t lo, int64_t hi) {
+    HLRC_CHECK(lo <= hi);
+    return lo + static_cast<int64_t>(NextBounded(static_cast<uint64_t>(hi - lo + 1)));
+  }
+
+  // Uniform double in [0, 1).
+  double NextDouble() {
+    return static_cast<double>(NextU64() >> 11) * (1.0 / 9007199254740992.0);
+  }
+
+  bool NextBool(double p_true = 0.5) { return NextDouble() < p_true; }
+
+ private:
+  uint64_t state_;
+};
+
+}  // namespace hlrc
+
+#endif  // SRC_COMMON_RNG_H_

@@ -1,0 +1,124 @@
+#include "src/common/table.h"
+
+#include <algorithm>
+#include <cctype>
+#include <cstdint>
+#include <cstring>
+
+namespace hlrc {
+namespace {
+
+bool LooksNumeric(const std::string& s) {
+  if (s.empty()) {
+    return false;
+  }
+  for (char c : s) {
+    if (!std::isdigit(static_cast<unsigned char>(c)) && c != '.' && c != '-' && c != '+' &&
+        c != 'e' && c != 'E' && c != '%' && c != 'x' && c != ',') {
+      return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace
+
+void Table::SetHeader(std::vector<std::string> header) { header_ = std::move(header); }
+
+void Table::AddRow(std::vector<std::string> row) {
+  Row r;
+  r.cells = std::move(row);
+  r.separator_before = pending_separator_;
+  pending_separator_ = false;
+  rows_.push_back(std::move(r));
+}
+
+void Table::AddSeparator() { pending_separator_ = true; }
+
+std::string Table::ToString() const {
+  size_t ncols = header_.size();
+  for (const Row& r : rows_) {
+    ncols = std::max(ncols, r.cells.size());
+  }
+  std::vector<size_t> width(ncols, 0);
+  for (size_t c = 0; c < header_.size(); ++c) {
+    width[c] = std::max(width[c], header_[c].size());
+  }
+  for (const Row& r : rows_) {
+    for (size_t c = 0; c < r.cells.size(); ++c) {
+      width[c] = std::max(width[c], r.cells[c].size());
+    }
+  }
+
+  auto format_row = [&](const std::vector<std::string>& cells) {
+    std::string line = "|";
+    for (size_t c = 0; c < ncols; ++c) {
+      const std::string cell = c < cells.size() ? cells[c] : "";
+      line += ' ';
+      const size_t pad = width[c] - cell.size();
+      if (LooksNumeric(cell)) {
+        line += std::string(pad, ' ') + cell;
+      } else {
+        line += cell + std::string(pad, ' ');
+      }
+      line += " |";
+    }
+    line += '\n';
+    return line;
+  };
+
+  std::string rule = "+";
+  for (size_t c = 0; c < ncols; ++c) {
+    rule += std::string(width[c] + 2, '-') + "+";
+  }
+  rule += '\n';
+
+  std::string out;
+  if (!title_.empty()) {
+    out += title_ + "\n";
+  }
+  out += rule;
+  if (!header_.empty()) {
+    out += format_row(header_);
+    out += rule;
+  }
+  for (const Row& r : rows_) {
+    if (r.separator_before) {
+      out += rule;
+    }
+    out += format_row(r.cells);
+  }
+  out += rule;
+  return out;
+}
+
+void Table::Print(std::FILE* out) const {
+  const std::string s = ToString();
+  std::fwrite(s.data(), 1, s.size(), out);
+}
+
+std::string Table::Fmt(double v, int precision) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f", precision, v);
+  return buf;
+}
+
+std::string Table::Fmt(int64_t v) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%lld", static_cast<long long>(v));
+  return buf;
+}
+
+std::string Table::FmtBytes(int64_t bytes) {
+  char buf[64];
+  if (bytes >= 10 * 1024 * 1024) {
+    std::snprintf(buf, sizeof(buf), "%.1fMB", static_cast<double>(bytes) / (1024.0 * 1024.0));
+  } else if (bytes >= 10 * 1024) {
+    std::snprintf(buf, sizeof(buf), "%.1fKB", static_cast<double>(bytes) / 1024.0);
+  } else {
+    std::snprintf(buf, sizeof(buf), "%lldB", static_cast<long long>(bytes));
+  }
+  return buf;
+}
+
+}  // namespace hlrc

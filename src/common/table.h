@@ -1,0 +1,43 @@
+// ASCII table formatting used by the benchmark harness to print the paper's
+// tables. Columns are sized to fit content; numbers are right aligned.
+#ifndef SRC_COMMON_TABLE_H_
+#define SRC_COMMON_TABLE_H_
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+namespace hlrc {
+
+class Table {
+ public:
+  explicit Table(std::string title) : title_(std::move(title)) {}
+
+  void SetHeader(std::vector<std::string> header);
+  void AddRow(std::vector<std::string> row);
+  // Inserts a horizontal separator before the next row.
+  void AddSeparator();
+
+  // Renders the table to `out` (stdout by default).
+  void Print(std::FILE* out = stdout) const;
+  std::string ToString() const;
+
+  // Number formatting helpers for cells.
+  static std::string Fmt(double v, int precision = 2);
+  static std::string Fmt(int64_t v);
+  static std::string FmtBytes(int64_t bytes);
+
+ private:
+  std::string title_;
+  std::vector<std::string> header_;
+  struct Row {
+    std::vector<std::string> cells;
+    bool separator_before = false;
+  };
+  std::vector<Row> rows_;
+  bool pending_separator_ = false;
+};
+
+}  // namespace hlrc
+
+#endif  // SRC_COMMON_TABLE_H_

@@ -1,0 +1,55 @@
+#include "src/mem/diff.h"
+
+#include <cstring>
+
+#include "src/common/check.h"
+
+namespace hlrc {
+
+int64_t Diff::DataBytes() const {
+  int64_t n = 0;
+  for (const DiffRun& r : runs) {
+    n += static_cast<int64_t>(r.bytes.size());
+  }
+  return n;
+}
+
+int64_t Diff::EncodedSize() const {
+  return kHeaderBytes + static_cast<int64_t>(runs.size()) * kRunHeaderBytes + DataBytes();
+}
+
+Diff CreateDiff(PageId page, const std::byte* twin, const std::byte* current,
+                int64_t page_bytes, int word_bytes) {
+  HLRC_CHECK(word_bytes == 4 || word_bytes == 8);
+  HLRC_CHECK(page_bytes % word_bytes == 0);
+
+  Diff diff;
+  diff.page = page;
+  int64_t run_start = -1;
+  for (int64_t off = 0; off <= page_bytes; off += word_bytes) {
+    const bool differs =
+        off < page_bytes && std::memcmp(twin + off, current + off, word_bytes) != 0;
+    if (differs) {
+      if (run_start < 0) {
+        run_start = off;
+      }
+    } else if (run_start >= 0) {
+      DiffRun run;
+      run.offset = static_cast<uint32_t>(run_start);
+      run.bytes.assign(current + run_start, current + off);
+      diff.runs.push_back(std::move(run));
+      run_start = -1;
+    }
+  }
+  return diff;
+}
+
+void ApplyDiff(const Diff& diff, std::byte* target, int64_t page_bytes) {
+  for (const DiffRun& r : diff.runs) {
+    HLRC_CHECK(static_cast<int64_t>(r.offset) + static_cast<int64_t>(r.bytes.size()) <=
+               page_bytes);
+    std::memcpy(target + r.offset, r.bytes.data(), r.bytes.size());
+  }
+}
+
+}  // namespace hlrc

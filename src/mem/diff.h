@@ -1,0 +1,52 @@
+// Word-granularity page diffs.
+//
+// A diff records the words of a dirty page that differ from its twin (the
+// clean copy snapshotted at the first write of an interval), as a list of
+// contiguous runs. Diffs are created by writers at interval end (or on
+// demand), shipped to readers (LRC) or to the page's home (HLRC), and applied
+// onto a target copy. Contents are computed from real page bytes, so diff
+// sizes — and therefore traffic and apply costs — are exact, not modelled.
+#ifndef SRC_MEM_DIFF_H_
+#define SRC_MEM_DIFF_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "src/common/types.h"
+
+namespace hlrc {
+
+struct DiffRun {
+  uint32_t offset = 0;           // Byte offset within the page.
+  std::vector<std::byte> bytes;  // New contents.
+};
+
+struct Diff {
+  PageId page = kInvalidPage;
+  std::vector<DiffRun> runs;
+
+  bool Empty() const { return runs.empty(); }
+
+  // Total payload bytes carried.
+  int64_t DataBytes() const;
+
+  // Wire/storage footprint: per-diff header + per-run (offset, length) +
+  // payload.
+  int64_t EncodedSize() const;
+
+  static constexpr int64_t kHeaderBytes = 16;
+  static constexpr int64_t kRunHeaderBytes = 8;
+};
+
+// Compares `current` against `twin` with `word_bytes` granularity (4 or 8)
+// and returns the diff. `page_bytes` must be a multiple of `word_bytes`.
+Diff CreateDiff(PageId page, const std::byte* twin, const std::byte* current,
+                int64_t page_bytes, int word_bytes);
+
+// Applies `diff` onto `target` (a page-sized buffer).
+void ApplyDiff(const Diff& diff, std::byte* target, int64_t page_bytes);
+
+}  // namespace hlrc
+
+#endif  // SRC_MEM_DIFF_H_

@@ -1,0 +1,40 @@
+#include "src/mem/page_table.h"
+
+#include <sys/mman.h>
+
+#include <cstring>
+
+namespace hlrc {
+
+PageTable::PageTable(int64_t space_bytes, int64_t page_size)
+    : space_bytes_(space_bytes), page_size_(page_size) {
+  HLRC_CHECK(page_size > 0 && (page_size & (page_size - 1)) == 0);
+  HLRC_CHECK(space_bytes > 0 && space_bytes % page_size == 0);
+  num_pages_ = static_cast<int>(space_bytes / page_size);
+  void* mem = ::mmap(nullptr, static_cast<size_t>(space_bytes_), PROT_READ | PROT_WRITE,
+                     MAP_PRIVATE | MAP_ANONYMOUS, -1, 0);
+  HLRC_CHECK_MSG(mem != MAP_FAILED, "mmap of %lld bytes failed",
+                 static_cast<long long>(space_bytes_));
+  base_ = static_cast<std::byte*>(mem);
+  states_.resize(static_cast<size_t>(num_pages_));
+}
+
+PageTable::~PageTable() { ::munmap(base_, static_cast<size_t>(space_bytes_)); }
+
+void PageTable::MakeTwin(PageId p) {
+  PageState& st = State(p);
+  HLRC_CHECK(st.twin == nullptr);
+  st.twin = std::make_unique<std::byte[]>(static_cast<size_t>(page_size_));
+  std::memcpy(st.twin.get(), PageData(p), static_cast<size_t>(page_size_));
+  ++twin_count_;
+}
+
+void PageTable::DropTwin(PageId p) {
+  PageState& st = State(p);
+  if (st.twin != nullptr) {
+    st.twin.reset();
+    --twin_count_;
+  }
+}
+
+}  // namespace hlrc

@@ -1,0 +1,98 @@
+// Per-node software MMU.
+//
+// Each node mirrors the whole shared address space in one contiguous
+// anonymous mmap region, so application code can use ordinary pointers and
+// multi-page arrays stay contiguous. Pages the node never touches stay
+// unbacked (the kernel lazily zero-fills), which keeps 64-node simulations
+// cheap. Protection is checked in software by the SVM access layer; there is
+// no hardware mprotect involved.
+#ifndef SRC_MEM_PAGE_TABLE_H_
+#define SRC_MEM_PAGE_TABLE_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "src/common/check.h"
+#include "src/common/types.h"
+
+namespace hlrc {
+
+enum class PageProt : uint8_t {
+  kNone = 0,       // Any access faults.
+  kRead = 1,       // Writes fault.
+  kReadWrite = 2,  // No faults.
+};
+
+struct PageState {
+  PageProt prot = PageProt::kRead;
+  // Whether the local frame holds a (possibly stale) copy of the page. LRC
+  // keeps stale copies across invalidation so diffs can be applied in place;
+  // a page with no copy requires a full-page fetch.
+  bool has_copy = true;
+  // Twin: clean snapshot taken at the first write of the current interval.
+  std::unique_ptr<std::byte[]> twin;
+};
+
+class PageTable {
+ public:
+  PageTable(int64_t space_bytes, int64_t page_size);
+  ~PageTable();
+  PageTable(const PageTable&) = delete;
+  PageTable& operator=(const PageTable&) = delete;
+
+  int64_t page_size() const { return page_size_; }
+  int num_pages() const { return num_pages_; }
+  int64_t space_bytes() const { return space_bytes_; }
+
+  PageId PageOf(GlobalAddr addr) const {
+    HLRC_CHECK(addr < static_cast<GlobalAddr>(space_bytes_));
+    return static_cast<PageId>(addr / static_cast<GlobalAddr>(page_size_));
+  }
+
+  std::byte* PageData(PageId p) {
+    HLRC_CHECK(p >= 0 && p < num_pages_);
+    return base_ + static_cast<int64_t>(p) * page_size_;
+  }
+  const std::byte* PageData(PageId p) const {
+    HLRC_CHECK(p >= 0 && p < num_pages_);
+    return base_ + static_cast<int64_t>(p) * page_size_;
+  }
+
+  std::byte* AddrData(GlobalAddr addr) {
+    HLRC_CHECK(addr < static_cast<GlobalAddr>(space_bytes_));
+    return base_ + addr;
+  }
+
+  PageState& State(PageId p) {
+    HLRC_CHECK(p >= 0 && p < num_pages_);
+    return states_[static_cast<size_t>(p)];
+  }
+  const PageState& State(PageId p) const {
+    HLRC_CHECK(p >= 0 && p < num_pages_);
+    return states_[static_cast<size_t>(p)];
+  }
+
+  // Snapshots the current page contents as the twin. The caller accounts the
+  // cost; this just does the copy and the memory bookkeeping.
+  void MakeTwin(PageId p);
+  void DropTwin(PageId p);
+  bool HasTwin(PageId p) const { return State(p).twin != nullptr; }
+
+  // Bytes currently held in twins (protocol memory accounting).
+  int64_t TwinBytes() const { return twin_count_ * page_size_; }
+  int64_t twin_count() const { return twin_count_; }
+
+ private:
+  int64_t space_bytes_;
+  int64_t page_size_;
+  int num_pages_;
+  std::byte* base_;  // mmap'ed; owned.
+  std::vector<PageState> states_;
+  int64_t twin_count_ = 0;
+};
+
+}  // namespace hlrc
+
+#endif  // SRC_MEM_PAGE_TABLE_H_

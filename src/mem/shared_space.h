@@ -1,0 +1,93 @@
+// Global shared address space layout and the G_MALLOC-style bump allocator.
+//
+// Mirrors the Splash-2 programming model the paper implements (§3.2): the
+// whole space is shareable and global data is carved out with G_MALLOC before
+// the parallel phase.
+#ifndef SRC_MEM_SHARED_SPACE_H_
+#define SRC_MEM_SHARED_SPACE_H_
+
+#include <algorithm>
+#include <cstdint>
+#include <vector>
+
+#include "src/common/check.h"
+#include "src/common/types.h"
+
+namespace hlrc {
+
+class SharedSpace {
+ public:
+  // One G_MALLOC'ed object, in pages. The block home policy distributes each
+  // allocation's pages over the nodes independently, which is how the paper's
+  // systems place homes "intelligently": an array's k-th band is homed on the
+  // node that owns the k-th partition.
+  struct Allocation {
+    PageId first_page;
+    PageId last_page;
+  };
+
+  SharedSpace(int64_t space_bytes, int64_t page_size)
+      : space_bytes_(space_bytes), page_size_(page_size) {
+    HLRC_CHECK(space_bytes % page_size == 0);
+  }
+
+  // Allocates `bytes`, 16-byte aligned. Aborts if the space is exhausted.
+  GlobalAddr Alloc(int64_t bytes) {
+    next_ = (next_ + 15) & ~static_cast<GlobalAddr>(15);
+    const GlobalAddr addr = next_;
+    HLRC_CHECK_MSG(static_cast<int64_t>(addr) + bytes <= space_bytes_,
+                   "shared space exhausted: need %lld more bytes",
+                   static_cast<long long>(addr + static_cast<GlobalAddr>(bytes)) -
+                       static_cast<long long>(space_bytes_));
+    next_ += static_cast<GlobalAddr>(bytes);
+    RecordAllocation(addr, bytes);
+    return addr;
+  }
+
+  // Allocates `bytes` starting on a fresh page boundary: used to give arrays
+  // page-aligned partitions, as Splash-2 programs do with padded allocators.
+  GlobalAddr AllocPageAligned(int64_t bytes) {
+    const GlobalAddr ps = static_cast<GlobalAddr>(page_size_);
+    next_ = (next_ + ps - 1) / ps * ps;
+    return Alloc(bytes);
+  }
+
+  // Bytes of application data allocated so far (Table 6's "application
+  // memory" denominator).
+  int64_t AllocatedBytes() const { return static_cast<int64_t>(next_); }
+
+  // The allocation containing `page`, or nullptr.
+  const Allocation* AllocationOf(PageId page) const {
+    for (const Allocation& a : allocations_) {
+      if (page >= a.first_page && page <= a.last_page) {
+        return &a;
+      }
+    }
+    return nullptr;
+  }
+
+  int64_t space_bytes() const { return space_bytes_; }
+  int64_t page_size() const { return page_size_; }
+
+ private:
+  void RecordAllocation(GlobalAddr addr, int64_t bytes) {
+    const PageId first = static_cast<PageId>(addr / static_cast<GlobalAddr>(page_size_));
+    const PageId last = static_cast<PageId>((addr + static_cast<GlobalAddr>(bytes) - 1) /
+                                            static_cast<GlobalAddr>(page_size_));
+    // Merge with the previous allocation when they share a page.
+    if (!allocations_.empty() && allocations_.back().last_page >= first) {
+      allocations_.back().last_page = std::max(allocations_.back().last_page, last);
+      return;
+    }
+    allocations_.push_back(Allocation{first, last});
+  }
+
+  int64_t space_bytes_;
+  int64_t page_size_;
+  GlobalAddr next_ = 0;
+  std::vector<Allocation> allocations_;
+};
+
+}  // namespace hlrc
+
+#endif  // SRC_MEM_SHARED_SPACE_H_

@@ -1,0 +1,63 @@
+// Message definitions for the simulated interconnect.
+//
+// Payloads are protocol-defined: the network layer treats them as opaque data
+// with a byte size. `update_bytes` vs `protocol_bytes` mirrors the paper's
+// Table 5 traffic split (diff/page data vs write notices, requests and
+// synchronization messages).
+#ifndef SRC_NET_MESSAGE_H_
+#define SRC_NET_MESSAGE_H_
+
+#include <cstdint>
+#include <memory>
+
+#include "src/common/types.h"
+
+namespace hlrc {
+
+// Message types, used for statistics and debugging. The receiving protocol
+// dispatches on the payload type, not on this enum.
+enum class MsgType : int {
+  kLockRequest = 0,
+  kLockForward = 1,
+  kLockGrant = 2,
+  kBarrierEnter = 3,
+  kBarrierRelease = 4,
+  kDiffFlush = 5,    // HLRC: diff pushed to its home.
+  kDiffRequest = 6,  // LRC: fetch diffs from a writer.
+  kDiffReply = 7,
+  kPageRequest = 8,
+  kPageReply = 9,
+  kGcRequest = 10,   // Manager -> all: start GC inventory.
+  kGcInfo = 11,      // Node -> manager: page/diff inventory.
+  kGcValidate = 12,  // Manager -> node: pages this node must validate.
+  kGcDone = 13,      // Node -> manager: validation finished.
+  kHomeTransfer = 14,  // Old home -> new home: page master + flush state.
+  kCount = 15,
+};
+
+const char* MsgTypeName(MsgType t);
+
+// Base class for protocol payloads.
+struct Payload {
+  virtual ~Payload() = default;
+};
+
+struct Message {
+  NodeId src = kInvalidNode;
+  NodeId dst = kInvalidNode;
+  MsgType type = MsgType::kLockRequest;
+  // Bytes of update data carried (diff contents, page contents).
+  int64_t update_bytes = 0;
+  // Bytes of protocol metadata carried (write notices, timestamps, request
+  // descriptors). The fixed per-message header is added by the network.
+  int64_t protocol_bytes = 0;
+  std::unique_ptr<Payload> payload;
+
+  int64_t TotalBytes(int64_t header_bytes) const {
+    return header_bytes + update_bytes + protocol_bytes;
+  }
+};
+
+}  // namespace hlrc
+
+#endif  // SRC_NET_MESSAGE_H_

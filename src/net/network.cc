@@ -1,0 +1,132 @@
+#include "src/net/network.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "src/common/check.h"
+
+namespace hlrc {
+
+const char* MsgTypeName(MsgType t) {
+  switch (t) {
+    case MsgType::kLockRequest:
+      return "lock-request";
+    case MsgType::kLockForward:
+      return "lock-forward";
+    case MsgType::kLockGrant:
+      return "lock-grant";
+    case MsgType::kBarrierEnter:
+      return "barrier-enter";
+    case MsgType::kBarrierRelease:
+      return "barrier-release";
+    case MsgType::kDiffFlush:
+      return "diff-flush";
+    case MsgType::kDiffRequest:
+      return "diff-request";
+    case MsgType::kDiffReply:
+      return "diff-reply";
+    case MsgType::kPageRequest:
+      return "page-request";
+    case MsgType::kPageReply:
+      return "page-reply";
+    case MsgType::kGcRequest:
+      return "gc-request";
+    case MsgType::kGcInfo:
+      return "gc-info";
+    case MsgType::kGcValidate:
+      return "gc-validate";
+    case MsgType::kGcDone:
+      return "gc-done";
+    case MsgType::kHomeTransfer:
+      return "home-transfer";
+    case MsgType::kCount:
+      break;
+  }
+  return "?";
+}
+
+Network::Network(Engine* engine, int nodes, NetworkConfig config)
+    : engine_(engine),
+      config_(config),
+      mesh_(nodes),
+      handlers_(nodes),
+      out_free_(nodes, 0),
+      in_free_(nodes, 0),
+      stats_(nodes) {
+  if (config_.model_link_contention) {
+    link_free_.assign(static_cast<size_t>(mesh_.MaxLinkId()), 0);
+  }
+}
+
+void Network::SetHandler(NodeId node, Handler handler) {
+  HLRC_CHECK(node >= 0 && node < static_cast<NodeId>(handlers_.size()));
+  handlers_[node] = std::move(handler);
+}
+
+void Network::Send(Message msg) {
+  HLRC_CHECK(msg.src >= 0 && msg.src < static_cast<NodeId>(handlers_.size()));
+  HLRC_CHECK(msg.dst >= 0 && msg.dst < static_cast<NodeId>(handlers_.size()));
+  HLRC_CHECK_MSG(static_cast<bool>(handlers_[msg.dst]), "no handler on node %d", msg.dst);
+
+  const int64_t bytes = msg.TotalBytes(config_.header_bytes);
+  const SimTime now = engine_->Now();
+
+  TrafficStats& s = stats_[msg.src];
+  ++s.msgs_sent;
+  s.update_bytes_sent += msg.update_bytes;
+  s.protocol_bytes_sent += msg.protocol_bytes + config_.header_bytes;
+  ++s.msgs_by_type[static_cast<int>(msg.type)];
+  ++stats_[msg.dst].msgs_received;
+
+  const SimTime xfer = bytes * config_.per_byte;
+
+  // Sending NIC channel serialization.
+  const SimTime departure = std::max(now, out_free_[msg.src]);
+  out_free_[msg.src] = departure + xfer;
+
+  // Wire time: latency + hops. With wormhole routing the message is pipelined,
+  // so the head arrives after the latency and the tail `xfer` later.
+  SimTime head_arrival =
+      departure + config_.base_latency + mesh_.Hops(msg.src, msg.dst) * config_.per_hop;
+
+  if (config_.model_link_contention && msg.src != msg.dst) {
+    // A wormhole route holds all its links for the duration of the transfer;
+    // approximate by serializing on the maximum link availability.
+    SimTime route_free = 0;
+    const std::vector<int64_t> route = mesh_.Route(msg.src, msg.dst);
+    for (int64_t l : route) {
+      route_free = std::max(route_free, link_free_[static_cast<size_t>(l)]);
+    }
+    head_arrival = std::max(head_arrival, route_free + config_.base_latency);
+    for (int64_t l : route) {
+      link_free_[static_cast<size_t>(l)] = head_arrival + xfer - config_.base_latency;
+    }
+  }
+
+  // Receiving NIC channel serialization: the message is fully delivered when
+  // its bytes have drained into the destination.
+  const SimTime delivered = std::max(head_arrival, in_free_[msg.dst]) + xfer;
+  in_free_[msg.dst] = delivered;
+
+  Handler& handler = handlers_[msg.dst];
+  engine_->ScheduleAt(delivered,
+                      [&handler, m = std::make_shared<Message>(std::move(msg))]() mutable {
+                        handler(std::move(*m));
+                      });
+}
+
+TrafficStats Network::TotalStats() const {
+  TrafficStats total;
+  for (const TrafficStats& s : stats_) {
+    total.msgs_sent += s.msgs_sent;
+    total.msgs_received += s.msgs_received;
+    total.update_bytes_sent += s.update_bytes_sent;
+    total.protocol_bytes_sent += s.protocol_bytes_sent;
+    for (size_t i = 0; i < s.msgs_by_type.size(); ++i) {
+      total.msgs_by_type[i] += s.msgs_by_type[i];
+    }
+  }
+  return total;
+}
+
+}  // namespace hlrc

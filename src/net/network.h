@@ -1,0 +1,82 @@
+// Interconnect model.
+//
+// Message cost = one-way base latency (covering NX/2 software send/receive
+// overhead) + per-hop wire time + per-byte transfer time, with serialization
+// at the sending and receiving NIC channels. Endpoint serialization is what
+// produces the paper's "hot spots": simultaneous requests to one node queue
+// behind each other. An optional link-contention model additionally reserves
+// every mesh link along the XY route.
+#ifndef SRC_NET_NETWORK_H_
+#define SRC_NET_NETWORK_H_
+
+#include <array>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "src/common/types.h"
+#include "src/net/message.h"
+#include "src/net/topology.h"
+#include "src/sim/engine.h"
+
+namespace hlrc {
+
+struct NetworkConfig {
+  // One-way latency of a minimal message, including software overheads.
+  SimTime base_latency = Micros(50);
+  // Additional latency per mesh hop (wormhole routing => tiny).
+  SimTime per_hop = Nanos(20);
+  // Transfer time per byte. Calibrated so that an 8 KB page moves in ~353 us
+  // (Table 3 reconstruction): 353000 ns / 8192 B ~= 43 ns/B.
+  SimTime per_byte = Nanos(43);
+  // Fixed header bytes added to every message (type, timestamps, addresses).
+  int64_t header_bytes = 32;
+  // Model per-link occupancy along the XY route (ablation option).
+  bool model_link_contention = false;
+};
+
+// Per-node traffic counters (Table 5).
+struct TrafficStats {
+  int64_t msgs_sent = 0;
+  int64_t msgs_received = 0;
+  int64_t update_bytes_sent = 0;
+  int64_t protocol_bytes_sent = 0;  // Includes headers.
+  std::array<int64_t, static_cast<int>(MsgType::kCount)> msgs_by_type{};
+
+  int64_t TotalBytesSent() const { return update_bytes_sent + protocol_bytes_sent; }
+};
+
+class Network {
+ public:
+  using Handler = std::function<void(Message)>;
+
+  Network(Engine* engine, int nodes, NetworkConfig config);
+
+  // Registers the message handler for `node`. Must be set before Send targets
+  // that node.
+  void SetHandler(NodeId node, Handler handler);
+
+  // Sends `msg`; the destination handler runs when the message has fully
+  // arrived.
+  void Send(Message msg);
+
+  const TrafficStats& NodeStats(NodeId node) const { return stats_[node]; }
+  TrafficStats TotalStats() const;
+  const Mesh2D& mesh() const { return mesh_; }
+  const NetworkConfig& config() const { return config_; }
+
+ private:
+  Engine* engine_;
+  NetworkConfig config_;
+  Mesh2D mesh_;
+  std::vector<Handler> handlers_;
+  std::vector<SimTime> out_free_;  // Send channel free time per node.
+  std::vector<SimTime> in_free_;   // Receive channel free time per node.
+  std::vector<SimTime> link_free_;
+  std::vector<TrafficStats> stats_;
+};
+
+}  // namespace hlrc
+
+#endif  // SRC_NET_NETWORK_H_

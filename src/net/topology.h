@@ -1,0 +1,50 @@
+// 2-D mesh topology with dimension-ordered (XY) routing, matching the
+// Paragon's wormhole-routed mesh. Only the hop count matters for the latency
+// model; the route enumeration is used by the optional link-contention model.
+#ifndef SRC_NET_TOPOLOGY_H_
+#define SRC_NET_TOPOLOGY_H_
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "src/common/check.h"
+#include "src/common/types.h"
+
+namespace hlrc {
+
+class Mesh2D {
+ public:
+  // Builds a near-square RxC mesh with R*C >= nodes.
+  explicit Mesh2D(int nodes);
+
+  int nodes() const { return nodes_; }
+  int rows() const { return rows_; }
+  int cols() const { return cols_; }
+
+  std::pair<int, int> Coord(NodeId n) const {
+    HLRC_CHECK(n >= 0 && n < nodes_);
+    return {n / cols_, n % cols_};
+  }
+
+  // Manhattan distance under XY routing.
+  int Hops(NodeId a, NodeId b) const;
+
+  // Unique id for the directed link from mesh coordinate u to adjacent v.
+  // Used by the link-contention model.
+  int64_t LinkId(int from_row, int from_col, int to_row, int to_col) const;
+
+  // Enumerates the directed links of the XY route from a to b, in order.
+  std::vector<int64_t> Route(NodeId a, NodeId b) const;
+
+  int64_t MaxLinkId() const { return 4LL * rows_ * cols_; }
+
+ private:
+  int nodes_;
+  int rows_;
+  int cols_;
+};
+
+}  // namespace hlrc
+
+#endif  // SRC_NET_TOPOLOGY_H_

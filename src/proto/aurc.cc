@@ -1,0 +1,58 @@
+#include "src/proto/aurc.h"
+
+#include <utility>
+
+namespace hlrc {
+
+int64_t AurcProtocol::ProtocolMemoryBytes() const {
+  return known_interval_bytes_ + SubclassMemoryBytes();
+}
+
+void AurcProtocol::OnIntervalClosed(IntervalRecord* rec, CloseActions* actions) {
+  std::vector<PageId> kept;
+  for (PageId p : rec->pages) {
+    const NodeId home = HomeOf(p);
+    if (home == self()) {
+      SetApplied(p, self(), rec->id);
+      kept.push_back(p);
+      continue;
+    }
+    HLRC_CHECK(pages().HasTwin(p));
+    Diff d = CreateDiff(p, pages().State(p).twin.get(), pages().PageData(p),
+                        pages().page_size(), env().options->diff_word_bytes);
+    pages().DropTwin(p);
+    if (d.Empty()) {
+      continue;
+    }
+    kept.push_back(p);
+    UpdateRequired(p, self(), rec->id);
+    // The automatic-update hardware streamed these words out as they were
+    // stored: no diff-creation cost, no diffs_created accounting (Table 4's
+    // "AURC uses no diff operations"), but write-through amplification on the
+    // wire. The flush carries the writer's interval so the home's flush
+    // timestamps stay exact.
+    const int64_t wire_bytes = static_cast<int64_t>(
+        static_cast<double>(d.DataBytes()) * env().options->aurc_write_amplification);
+    auto payload = std::make_unique<DiffFlushPayload>();
+    payload->writer = self();
+    payload->page = p;
+    payload->interval = rec->id;
+    payload->diff = std::move(d);
+    Send(home, MsgType::kDiffFlush, wire_bytes, 16, std::move(payload));
+  }
+  rec->pages = std::move(kept);
+  (void)actions;  // Zero software cost at interval end.
+}
+
+void AurcProtocol::HandleProtocolMessage(Message msg) {
+  if (msg.type == MsgType::kDiffFlush) {
+    // Automatic updates land in home memory without interrupting either
+    // processor: apply at delivery, zero occupancy.
+    auto* p = static_cast<DiffFlushPayload*>(msg.payload.get());
+    HandleDiffFlush(p->writer, p->page, p->interval, p->diff);
+    return;
+  }
+  HlrcProtocol::HandleProtocolMessage(std::move(msg));
+}
+
+}  // namespace hlrc

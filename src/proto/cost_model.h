@@ -1,0 +1,80 @@
+// Calibrated costs of the basic SVM operations (paper Table 3).
+//
+// The paper's Table 3 OCR is partially garbled, but the derived quantities in
+// §4.3 pin the values down (see DESIGN.md §6): a non-overlapped page miss is
+// 29 (fault) + 50 (request) + 690 (receive interrupt) + 353 (8 KB page
+// transfer) + 50 (reply) = 1172 us, and overlapping removes exactly the
+// interrupt (482 us). Per-byte rates below reproduce those sums at the
+// default 8 KB page and scale with the configured page size.
+#ifndef SRC_PROTO_COST_MODEL_H_
+#define SRC_PROTO_COST_MODEL_H_
+
+#include "src/common/types.h"
+
+namespace hlrc {
+
+struct CostModel {
+  // Cost of taking a receive interrupt on the compute processor. This is the
+  // dominant protocol cost on the Paragon and the main thing overlapping
+  // removes.
+  SimTime receive_interrupt = Micros(690);
+
+  // Page fault entry (exception dispatch into the SVM handler).
+  SimTime page_fault = Micros(29);
+  // Changing a page's protection.
+  SimTime page_protect = Micros(5);
+  // Invalidating a page mapping.
+  SimTime page_invalidate = Micros(2);
+
+  // Twin creation: copy of one clean page. 120 us per 8 KB page.
+  SimTime twin_per_byte = Nanos(15);
+
+  // Diff creation = scan of the whole page + emission of dirty words.
+  // 120 us floor and up to ~310 us for a fully dirty 8 KB page.
+  SimTime diff_scan_per_byte = Nanos(15);
+  SimTime diff_emit_per_byte = Nanos(23);
+
+  // Diff application, proportional to diff payload: up to ~430 us / 8 KB.
+  SimTime diff_apply_per_byte = Nanos(52);
+  SimTime diff_apply_fixed = Micros(2);
+
+  // Fixed dispatch cost of servicing one remote request on whichever
+  // processor handles it.
+  SimTime service_fixed = Micros(5);
+
+  // Lock manager / holder bookkeeping per lock message.
+  SimTime lock_handling = Micros(10);
+
+  // Barrier manager bookkeeping per arriving/leaving node.
+  SimTime barrier_handling = Micros(10);
+
+  // Packing / applying one write notice (plus page_invalidate per page
+  // actually invalidated on apply).
+  SimTime wn_pack = Nanos(500);
+  SimTime wn_apply = Nanos(500);
+
+  // Garbage collection bookkeeping (homeless protocols only).
+  SimTime gc_fixed = Micros(100);
+  SimTime gc_per_page = Micros(3);
+
+  // Application compute calibration: i860 @ 50 MHz sustained a few MFLOPS on
+  // these codes; 100 ns/flop reproduces sequential times in the paper's
+  // ballpark at paper-scale problem sizes.
+  SimTime ns_per_flop = Nanos(100);
+
+  SimTime TwinCost(int64_t page_bytes) const { return page_bytes * twin_per_byte; }
+
+  SimTime DiffCreateCost(int64_t page_bytes, int64_t dirty_bytes) const {
+    return page_bytes * diff_scan_per_byte + dirty_bytes * diff_emit_per_byte;
+  }
+
+  SimTime DiffApplyCost(int64_t diff_payload_bytes) const {
+    return diff_apply_fixed + diff_payload_bytes * diff_apply_per_byte;
+  }
+
+  SimTime FlopCost(int64_t flops) const { return flops * ns_per_flop; }
+};
+
+}  // namespace hlrc
+
+#endif  // SRC_PROTO_COST_MODEL_H_

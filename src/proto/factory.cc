@@ -1,0 +1,28 @@
+#include <memory>
+
+#include "src/proto/aurc.h"
+#include "src/proto/erc.h"
+#include "src/proto/hlrc.h"
+#include "src/proto/lrc.h"
+#include "src/proto/protocol.h"
+
+namespace hlrc {
+
+std::unique_ptr<ProtocolNode> ProtocolNode::Create(const Env& env) {
+  switch (env.options->kind) {
+    case ProtocolKind::kLrc:
+    case ProtocolKind::kOlrc:
+      return std::make_unique<LrcProtocol>(env);
+    case ProtocolKind::kHlrc:
+    case ProtocolKind::kOhlrc:
+      return std::make_unique<HlrcProtocol>(env);
+    case ProtocolKind::kErc:
+      return std::make_unique<ErcProtocol>(env);
+    case ProtocolKind::kAurc:
+      return std::make_unique<AurcProtocol>(env);
+  }
+  HLRC_CHECK_MSG(false, "unknown protocol kind %d", static_cast<int>(env.options->kind));
+  return nullptr;
+}
+
+}  // namespace hlrc

@@ -1,0 +1,62 @@
+// Interval records and write notices.
+//
+// An interval groups all writes one node performed between two of its
+// synchronization events. Its record carries one write notice per dirty page.
+// Homeless protocols ship the writer's full vector timestamp with each
+// interval (needed to order diff application), which is why their protocol
+// traffic and memory grow with the node count; home-based protocols only need
+// (writer, interval id, pages).
+#ifndef SRC_PROTO_INTERVAL_H_
+#define SRC_PROTO_INTERVAL_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/common/types.h"
+#include "src/proto/vector_clock.h"
+
+namespace hlrc {
+
+struct IntervalRecord {
+  NodeId writer = kInvalidNode;
+  uint32_t id = 0;  // The writer's interval index (its own VT component).
+  // Writer's vector timestamp when the interval was closed (vt.Get(writer)
+  // == id). Homeless protocols need it to order diffs; home-based protocols
+  // carry and store it too for bookkeeping but do not ship it on the wire
+  // (see EncodedSize).
+  VectorClock vt;
+  std::vector<PageId> pages;
+
+  // Wire/storage footprint of the interval's write notices.
+  int64_t EncodedSize(bool with_vt) const {
+    int64_t size = 8 + static_cast<int64_t>(pages.size()) * 4;
+    if (with_vt) {
+      size += vt.EncodedSize();
+    }
+    return size;
+  }
+};
+
+// Key identifying one interval of one writer.
+struct IntervalKey {
+  NodeId writer;
+  uint32_t id;
+
+  bool operator==(const IntervalKey& o) const { return writer == o.writer && id == o.id; }
+  bool operator<(const IntervalKey& o) const {
+    if (writer != o.writer) {
+      return writer < o.writer;
+    }
+    return id < o.id;
+  }
+};
+
+struct IntervalKeyHash {
+  size_t operator()(const IntervalKey& k) const {
+    return static_cast<size_t>(k.writer) * 1000003u + k.id;
+  }
+};
+
+}  // namespace hlrc
+
+#endif  // SRC_PROTO_INTERVAL_H_

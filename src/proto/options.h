@@ -1,0 +1,75 @@
+// Protocol selection and tunables.
+#ifndef SRC_PROTO_OPTIONS_H_
+#define SRC_PROTO_OPTIONS_H_
+
+#include <cstdint>
+
+#include "src/common/types.h"
+
+namespace hlrc {
+
+enum class ProtocolKind : int {
+  kLrc = 0,    // Homeless lazy release consistency (TreadMarks-style).
+  kOlrc = 1,   // LRC with diffing/fetch service overlapped onto the co-processor.
+  kHlrc = 2,   // Home-based LRC.
+  kOhlrc = 3,  // HLRC with diff create/apply and page service on the co-processor.
+  // Extensions beyond the paper's four (see DESIGN.md):
+  kErc = 4,    // Eager release consistency: update broadcast at release
+               // (Munin-style write-shared; the paper's §1 RC contrast).
+  kAurc = 5,   // Automatic-update RC: HLRC's hardware ancestor — zero
+               // software cost for update detection/propagation, write-through
+               // traffic (paper §2.2; simulated AU hardware).
+};
+
+constexpr bool IsHomeBased(ProtocolKind k) {
+  return k == ProtocolKind::kHlrc || k == ProtocolKind::kOhlrc || k == ProtocolKind::kAurc;
+}
+constexpr bool IsOverlapped(ProtocolKind k) {
+  return k == ProtocolKind::kOlrc || k == ProtocolKind::kOhlrc;
+}
+const char* ProtocolName(ProtocolKind k);
+
+// How pages are assigned to homes (home-based protocols only).
+enum class HomePolicy : int {
+  kBlock = 0,       // Contiguous chunks of pages per node (matches the apps'
+                    // block partitioning; the paper's "chosen intelligently").
+  kRoundRobin = 1,  // Page p lives on node p mod N.
+  kSingleNode = 2,  // All homes on node 0 (worst case, for ablations).
+};
+const char* HomePolicyName(HomePolicy p);
+
+// When the homeless protocols create diffs (paper §2.1: "eagerly, at the end
+// of each interval, or lazily, on demand").
+enum class DiffPolicy : int {
+  kEager = 0,  // At interval end (the paper's implementation; matches OLRC).
+  kLazy = 1,   // On first request (TreadMarks): saves creating diffs nobody
+               // ever fetches, at the cost of doing the work on the request
+               // path.
+};
+const char* DiffPolicyName(DiffPolicy p);
+
+struct ProtocolOptions {
+  ProtocolKind kind = ProtocolKind::kHlrc;
+  HomePolicy home_policy = HomePolicy::kBlock;
+  DiffPolicy diff_policy = DiffPolicy::kEager;
+  // AURC write-through amplification: the automatic-update hardware resends
+  // a word each time it is stored; we observe only the final dirty words, so
+  // traffic is modelled as amplification x dirty bytes.
+  double aurc_write_amplification = 1.5;
+  // Home migration (home-based protocols): when a page's home observes this
+  // many consecutive diff flushes from the same remote writer, it transfers
+  // the home to that writer — turning a chronically misplaced page into a
+  // home-effect page (extension; the dynamic version of the paper's "homes
+  // chosen intelligently", §2.2).
+  bool migrate_homes = false;
+  int migrate_threshold = 3;
+  // Homeless protocols trigger garbage collection at a barrier when a node's
+  // protocol memory exceeds this threshold.
+  int64_t gc_threshold_bytes = 4ll << 20;
+  // Diff granularity in bytes (4 or 8).
+  int diff_word_bytes = 8;
+};
+
+}  // namespace hlrc
+
+#endif  // SRC_PROTO_OPTIONS_H_

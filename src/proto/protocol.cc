@@ -1,0 +1,676 @@
+#include "src/proto/protocol.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "src/common/log.h"
+
+namespace hlrc {
+
+const char* ProtocolName(ProtocolKind k) {
+  switch (k) {
+    case ProtocolKind::kLrc:
+      return "LRC";
+    case ProtocolKind::kOlrc:
+      return "OLRC";
+    case ProtocolKind::kHlrc:
+      return "HLRC";
+    case ProtocolKind::kOhlrc:
+      return "OHLRC";
+    case ProtocolKind::kErc:
+      return "ERC";
+    case ProtocolKind::kAurc:
+      return "AURC";
+  }
+  return "?";
+}
+
+const char* DiffPolicyName(DiffPolicy p) {
+  switch (p) {
+    case DiffPolicy::kEager:
+      return "eager";
+    case DiffPolicy::kLazy:
+      return "lazy";
+  }
+  return "?";
+}
+
+const char* HomePolicyName(HomePolicy p) {
+  switch (p) {
+    case HomePolicy::kBlock:
+      return "block";
+    case HomePolicy::kRoundRobin:
+      return "round-robin";
+    case HomePolicy::kSingleNode:
+      return "single-node";
+  }
+  return "?";
+}
+
+ProtocolNode::ProtocolNode(const Env& env)
+    : vt_(env.nodes),
+      env_(env),
+      sent_to_manager_vt_(env.nodes),
+      dirty_flag_(static_cast<size_t>(env.pages->num_pages()), false) {}
+
+ProtocolNode::~ProtocolNode() = default;
+
+// ---------------------------------------------------------------------------
+// Wait accounting.
+
+ProtocolNode::WaitScope::WaitScope(ProtocolNode* n, WaitCat c, WaitCat d)
+    : node(n), cat(c), deduct(d), t0(n->engine()->Now()), busy0(n->env_.cpu->busy().Total()) {}
+
+void ProtocolNode::WaitScope::Finish() {
+  const SimTime span = node->engine()->Now() - t0;
+  const SimTime busy = node->env_.cpu->busy().Total() - busy0;
+  const SimTime wait = span - busy;
+  if (wait > 0) {
+    node->stats_.waits.Add(cat, wait);
+    if (deduct != WaitCat::kNone) {
+      node->stats_.waits.Add(deduct, -wait);
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Shared services.
+
+Task<void> ProtocolNode::ChargeCpu(SimTime cost, BusyCat cat) {
+  if (cost > 0) {
+    co_await env_.cpu->ExecuteApp(cost, cat);
+  }
+}
+
+void ProtocolNode::Serve(bool on_coproc, bool interrupt, SimTime cost, BusyCat cat,
+                         std::function<void()> fn) {
+  Processor* proc = on_coproc ? env_.cop : env_.cpu;
+  if (interrupt) {
+    HLRC_DCHECK(!on_coproc);  // The co-processor polls; it takes no interrupts.
+    proc->RunService(costs().receive_interrupt, BusyCat::kInterrupt,
+                     [proc, cost, cat, fn = std::move(fn)]() mutable {
+                       proc->RunService(cost, cat, std::move(fn));
+                     });
+    return;
+  }
+  proc->RunService(cost, cat, std::move(fn));
+}
+
+void ProtocolNode::ServeDataRequest(SimTime cost, BusyCat cat, std::function<void()> fn) {
+  if (overlapped()) {
+    Serve(/*on_coproc=*/true, /*interrupt=*/false, cost, cat, std::move(fn));
+  } else {
+    Serve(/*on_coproc=*/false, /*interrupt=*/true, cost, cat, std::move(fn));
+  }
+}
+
+void ProtocolNode::Send(NodeId dst, MsgType type, int64_t update_bytes, int64_t protocol_bytes,
+                        std::unique_ptr<Payload> payload) {
+  Message msg;
+  msg.src = env_.self;
+  msg.dst = dst;
+  msg.type = type;
+  msg.update_bytes = update_bytes;
+  msg.protocol_bytes = protocol_bytes;
+  msg.payload = std::move(payload);
+  env_.network->Send(std::move(msg));
+}
+
+NodeId ProtocolNode::HomeOf(PageId page) const {
+  const int num_pages =
+      used_pages_ > 0 ? std::max(used_pages_, page + 1) : env_.pages->num_pages();
+  switch (env_.options->home_policy) {
+    case HomePolicy::kBlock: {
+      // Contiguous chunks *per allocation*: the k-th band of every array is
+      // homed on node k — the paper's "homes chosen intelligently", matching
+      // the applications' block partitioning.
+      if (env_.space != nullptr) {
+        const SharedSpace::Allocation* alloc = env_.space->AllocationOf(page);
+        if (alloc != nullptr) {
+          const int64_t span = alloc->last_page - alloc->first_page + 1;
+          return static_cast<NodeId>(static_cast<int64_t>(page - alloc->first_page) *
+                                     env_.nodes / span);
+        }
+      }
+      return static_cast<NodeId>(static_cast<int64_t>(page) * env_.nodes / num_pages);
+    }
+    case HomePolicy::kRoundRobin:
+      return static_cast<NodeId>(page % env_.nodes);
+    case HomePolicy::kSingleNode:
+      return 0;
+  }
+  return 0;
+}
+
+void ProtocolNode::NoteMemory() {
+  const int64_t mem = ProtocolMemoryBytes();
+  if (mem > stats_.proto_mem_highwater) {
+    stats_.proto_mem_highwater = mem;
+  }
+}
+
+int64_t ProtocolNode::ProtocolMemoryBytes() const {
+  return known_interval_bytes_ + env_.pages->TwinBytes() + SubclassMemoryBytes();
+}
+
+const IntervalRecord& ProtocolNode::KnownInterval(NodeId writer, uint32_t id) const {
+  auto it = known_intervals_.find(IntervalKey{writer, id});
+  HLRC_CHECK_MSG(it != known_intervals_.end(), "node %d: unknown interval (%d, %u)", env_.self,
+                 writer, id);
+  return it->second;
+}
+
+// ---------------------------------------------------------------------------
+// Intervals and write notices.
+
+void ProtocolNode::MarkDirty(PageId page) {
+  if (!dirty_flag_[static_cast<size_t>(page)]) {
+    dirty_flag_[static_cast<size_t>(page)] = true;
+    open_dirty_.push_back(page);
+  }
+}
+
+bool ProtocolNode::IsDirtyInOpenInterval(PageId page) const {
+  return dirty_flag_[static_cast<size_t>(page)];
+}
+
+ProtocolNode::CloseActions ProtocolNode::CloseIntervalPrepared() {
+  CloseActions actions;
+  if (open_dirty_.empty()) {
+    return actions;
+  }
+
+  IntervalRecord rec;
+  rec.writer = env_.self;
+  rec.id = vt_.Get(env_.self) + 1;
+  rec.vt = vt_;
+  rec.vt.Set(env_.self, rec.id);
+  std::sort(open_dirty_.begin(), open_dirty_.end());
+  rec.pages = std::move(open_dirty_);
+  open_dirty_.clear();
+
+  for (PageId p : rec.pages) {
+    PageState& st = env_.pages->State(p);
+    dirty_flag_[static_cast<size_t>(p)] = false;
+    if (st.prot == PageProt::kReadWrite) {
+      st.prot = PageProt::kRead;
+      actions.protect_cost += costs().page_protect;
+    }
+  }
+
+  OnIntervalClosed(&rec, &actions);
+
+  if (!rec.pages.empty()) {
+    Trace(TraceEvent::kIntervalClose, rec.id, static_cast<int64_t>(rec.pages.size()));
+    HLRC_TRACE("[%lld] node %d: close interval id=%u with %zu pages (first=%d)",
+               (long long)engine()->Now(), env_.self, rec.id, rec.pages.size(), rec.pages[0]);
+    vt_.Bump(env_.self);
+    HLRC_CHECK(vt_.Get(env_.self) == rec.id);
+    ++stats_.intervals_closed;
+    known_interval_bytes_ += IntervalBytes(rec);
+    known_intervals_.emplace(IntervalKey{rec.writer, rec.id}, std::move(rec));
+    NoteMemory();
+  }
+  return actions;
+}
+
+Task<void> ProtocolNode::CloseIntervalFromApp() {
+  CloseActions actions = CloseIntervalPrepared();
+  co_await ChargeCpu(actions.protect_cost, BusyCat::kFault);
+  co_await ChargeCpu(actions.diff_cost, BusyCat::kDiffCreate);
+  if (actions.post) {
+    actions.post();
+  }
+  // Eager protocols: the synchronization operation may not proceed while any
+  // update flush (from this close or an earlier one) is unacknowledged.
+  Completion flushed(env_.engine);
+  FlushBarrier([&flushed] { flushed.Complete(); });
+  co_await flushed;
+}
+
+SimTime ProtocolNode::ApplyIntervals(const std::vector<IntervalRecord>& recs) {
+  SimTime cost = 0;
+  int64_t invalidated = 0;
+  for (const IntervalRecord& rec : recs) {
+    if (rec.id <= vt_.Get(rec.writer)) {
+      HLRC_TRACE("[%lld] node %d: skip interval (w=%d id=%u) vt=%u",
+                 (long long)engine()->Now(), env_.self, rec.writer, rec.id,
+                 vt_.Get(rec.writer));
+      continue;  // Already known.
+    }
+    vt_.Set(rec.writer, std::max(vt_.Get(rec.writer), rec.id));
+    HLRC_TRACE("[%lld] node %d: apply interval (w=%d id=%u) %zu pages", (long long)engine()->Now(),
+               env_.self, rec.writer, rec.id, rec.pages.size());
+    stats_.write_notices_received += static_cast<int64_t>(rec.pages.size());
+    cost += costs().wn_apply * static_cast<SimTime>(rec.pages.size());
+    for (PageId p : rec.pages) {
+      if (OnWriteNotice(rec, p)) {
+        ++invalidated;
+      }
+    }
+    known_interval_bytes_ += IntervalBytes(rec);
+    known_intervals_.emplace(IntervalKey{rec.writer, rec.id}, rec);
+  }
+  cost += invalidated * costs().page_invalidate;
+  stats_.pages_invalidated += invalidated;
+  NoteMemory();
+  return cost;
+}
+
+std::vector<IntervalRecord> ProtocolNode::PackIntervalsFor(const VectorClock& vt) const {
+  std::vector<IntervalRecord> out;
+  for (const auto& [key, rec] : known_intervals_) {
+    if (rec.id > vt.Get(rec.writer)) {
+      out.push_back(rec);
+    }
+  }
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// Page access.
+
+Task<void> ProtocolNode::EnsureAccessSpans(std::vector<PageSpan> spans) {
+  // Keep scanning until one full pass needs no fault. Rescanning matters:
+  // while a fault on a later page is being resolved (the coroutine is
+  // suspended), a remote lock request can close the current interval, which
+  // re-write-protects pages this grant already upgraded. The final fault-free
+  // pass runs synchronously with the caller's resumption, so the grant is
+  // stable until the application's next suspension point.
+  while (true) {
+    PageId fault_page = kInvalidPage;
+    bool fault_write = false;
+    bool fault_invalid = false;
+    for (const PageSpan& span : spans) {
+      HLRC_CHECK(span.first >= 0 && span.last < env_.pages->num_pages() &&
+                 span.first <= span.last);
+      for (PageId p = span.first; p <= span.last; ++p) {
+        const PageState& st = env_.pages->State(p);
+        const bool invalid = st.prot == PageProt::kNone;
+        const bool needs_write_upgrade = span.write && st.prot != PageProt::kReadWrite;
+        if (invalid || needs_write_upgrade) {
+          fault_page = p;
+          fault_write = span.write;
+          fault_invalid = invalid;
+          break;
+        }
+      }
+      if (fault_page != kInvalidPage) {
+        break;
+      }
+    }
+    if (fault_page == kInvalidPage) {
+      co_return;
+    }
+
+    WaitScope ws(this, WaitCat::kData);
+    Trace(TraceEvent::kFault, fault_page, fault_write ? 1 : 0);
+    co_await ChargeCpu(costs().page_fault, BusyCat::kFault);
+    if (fault_invalid) {
+      ++stats_.read_misses;
+    }
+    if (fault_write) {
+      ++stats_.write_faults;
+    }
+    co_await ResolveFault(fault_page, fault_write);
+    HLRC_DCHECK(env_.pages->State(fault_page).prot != PageProt::kNone);
+    ws.Finish();
+  }
+}
+
+Task<void> ProtocolNode::EnsureAccess(PageId first, PageId last, bool write) {
+  return EnsureAccessSpans({PageSpan{first, last, write}});
+}
+
+// ---------------------------------------------------------------------------
+// Locks.
+
+ProtocolNode::LockState& ProtocolNode::Lock(LockId lock) {
+  auto it = locks_.find(lock);
+  if (it == locks_.end()) {
+    LockState ls;
+    ls.held = (env_.self == LockManagerNode(lock));
+    it = locks_.emplace(lock, std::move(ls)).first;
+  }
+  return it->second;
+}
+
+ProtocolNode::LockManagerState& ProtocolNode::ManagerState(LockId lock) {
+  auto it = lock_managers_.find(lock);
+  if (it == lock_managers_.end()) {
+    LockManagerState ms;
+    ms.last_requester = env_.self;  // Token starts at the manager.
+    it = lock_managers_.emplace(lock, ms).first;
+  }
+  return it->second;
+}
+
+Task<void> ProtocolNode::Acquire(LockId lock) {
+  ++stats_.lock_acquires;
+  LockState& ls = Lock(lock);
+  HLRC_CHECK_MSG(!ls.in_use, "node %d: recursive acquire of lock %d", env_.self, lock);
+  if (ls.held) {
+    HLRC_TRACE("[%lld] node %d: local reacquire lock %d", (long long)engine()->Now(),
+               env_.self, lock);
+    ls.in_use = true;
+    co_return;  // Local reacquire: no interval end, no messages.
+  }
+
+  ++stats_.remote_acquires;
+  Trace(TraceEvent::kLockRequest, lock);
+  HLRC_TRACE("[%lld] node %d: remote acquire lock %d", (long long)engine()->Now(), env_.self,
+             lock);
+  // A remote acquire delimits the current interval (paper §2.1 case (i)).
+  co_await CloseIntervalFromApp();
+
+  WaitScope ws(this, WaitCat::kLock);
+  ls.waiting = std::make_unique<Completion>(env_.engine);
+
+  const NodeId manager = LockManagerNode(lock);
+  if (manager == env_.self) {
+    HandleLockRequest(lock, env_.self, vt_);
+  } else {
+    auto payload = std::make_unique<LockRequestPayload>();
+    payload->lock = lock;
+    payload->requester = env_.self;
+    payload->vt = vt_;
+    Send(manager, MsgType::kLockRequest, 0, 8 + vt_.EncodedSize(), std::move(payload));
+  }
+
+  co_await *ls.waiting;
+  Trace(TraceEvent::kLockAcquired, lock);
+  // `ls` may dangle after suspension (other locks can rehash the map).
+  LockState& ls2 = Lock(lock);
+  ls2.waiting.reset();
+  ls2.held = true;
+  ls2.in_use = true;
+  ws.Finish();
+}
+
+Task<void> ProtocolNode::Release(LockId lock) {
+  LockState& ls = Lock(lock);
+  HLRC_CHECK_MSG(ls.in_use, "node %d: release of lock %d not held", env_.self, lock);
+  ls.in_use = false;
+  if (ls.pending_requester != kInvalidNode) {
+    const NodeId requester = ls.pending_requester;
+    VectorClock rvt = std::move(ls.pending_vt);
+    ls.pending_requester = kInvalidNode;
+    GrantLock(lock, requester, rvt);
+  }
+  co_return;
+}
+
+void ProtocolNode::HandleLockRequest(LockId lock, NodeId requester, const VectorClock& rvt) {
+  LockManagerState& ms = ManagerState(lock);
+  const NodeId last = ms.last_requester;
+  HLRC_CHECK(last != requester);
+  ms.last_requester = requester;
+  if (last == env_.self) {
+    HandleLockForward(lock, requester, rvt);
+    return;
+  }
+  auto payload = std::make_unique<LockForwardPayload>();
+  payload->lock = lock;
+  payload->requester = requester;
+  payload->vt = rvt;
+  Send(last, MsgType::kLockForward, 0, 8 + rvt.EncodedSize(), std::move(payload));
+}
+
+void ProtocolNode::HandleLockForward(LockId lock, NodeId requester, const VectorClock& rvt) {
+  LockState& ls = Lock(lock);
+  if (ls.held && !ls.in_use) {
+    // Idle holder: receiving the remote request delimits the interval
+    // (paper §2.1 case (ii)) and we grant immediately.
+    GrantLock(lock, requester, rvt);
+    return;
+  }
+  // Either the app is inside the critical section or we are ourselves still
+  // waiting for the token; the grant happens at release time.
+  HLRC_CHECK_MSG(ls.pending_requester == kInvalidNode,
+                 "node %d: two pending requesters for lock %d", env_.self, lock);
+  ls.pending_requester = requester;
+  ls.pending_vt = rvt;
+}
+
+void ProtocolNode::GrantLock(LockId lock, NodeId requester, const VectorClock& rvt) {
+  Trace(TraceEvent::kLockGrant, lock, requester);
+  HLRC_TRACE("[%lld] node %d: grant lock %d -> node %d", (long long)engine()->Now(), env_.self,
+             lock, requester);
+  LockState& ls = Lock(lock);
+  HLRC_CHECK(ls.held && !ls.in_use);
+  ls.held = false;
+
+  CloseActions actions = CloseIntervalPrepared();
+
+  auto send_grant = [this, lock, requester, rvt] {
+    std::vector<IntervalRecord> recs = PackIntervalsFor(rvt);
+    const SimTime pack_cost =
+        costs().lock_handling + costs().wn_pack * static_cast<SimTime>(recs.size());
+    env_.cpu->RunService(
+        pack_cost, BusyCat::kWriteNotice,
+        [this, lock, requester, recs = std::move(recs)]() mutable {
+          int64_t bytes = 16;
+          for (const IntervalRecord& rec : recs) {
+            bytes += IntervalBytes(rec);
+          }
+          auto payload = std::make_unique<LockGrantPayload>();
+          payload->lock = lock;
+          payload->intervals = std::move(recs);
+          Send(requester, MsgType::kLockGrant, 0, bytes, std::move(payload));
+        });
+  };
+
+  if (actions.TotalCpu() > 0 || actions.post) {
+    env_.cpu->RunService(
+        actions.protect_cost, BusyCat::kFault,
+        [this, diff_cost = actions.diff_cost, post = std::move(actions.post), send_grant] {
+          env_.cpu->RunService(diff_cost, BusyCat::kDiffCreate, [this, post, send_grant] {
+            if (post) {
+              post();
+            }
+            // The grant is the happens-before edge: it may not leave while
+            // eager flushes are outstanding.
+            FlushBarrier(send_grant);
+          });
+        });
+  } else {
+    FlushBarrier(send_grant);
+  }
+}
+
+void ProtocolNode::HandleLockGrant(LockId lock, std::vector<IntervalRecord> intervals) {
+  HLRC_TRACE("[%lld] node %d: received grant for lock %d", (long long)engine()->Now(),
+             env_.self, lock);
+  const SimTime cost = ApplyIntervals(intervals);
+  env_.cpu->RunService(cost, BusyCat::kWriteNotice, [this, lock] {
+    LockState& ls = Lock(lock);
+    HLRC_CHECK(ls.waiting != nullptr);
+    ls.waiting->Complete();
+  });
+}
+
+// ---------------------------------------------------------------------------
+// Barriers.
+
+Task<void> ProtocolNode::Barrier(BarrierId barrier) {
+  ++stats_.barriers;
+  Trace(TraceEvent::kBarrierEnter, barrier);
+  co_await CloseIntervalFromApp();
+
+  WaitScope ws(this, WaitCat::kBarrier);
+  HLRC_CHECK(barrier_waiting_ == nullptr);
+  barrier_waiting_ = std::make_unique<Completion>(env_.engine);
+
+  std::vector<IntervalRecord> recs = PackIntervalsFor(sent_to_manager_vt_);
+  co_await ChargeCpu(costs().wn_pack * static_cast<SimTime>(recs.size()),
+                     BusyCat::kWriteNotice);
+  const bool pressure =
+      !home_based() && ProtocolMemoryBytes() > env_.options->gc_threshold_bytes;
+
+  if (env_.self == kBarrierManager) {
+    HandleBarrierEnter(barrier, env_.self, vt_, std::move(recs), pressure);
+  } else {
+    int64_t bytes = 16 + vt_.EncodedSize();
+    for (const IntervalRecord& rec : recs) {
+      bytes += IntervalBytes(rec);
+    }
+    auto payload = std::make_unique<BarrierEnterPayload>();
+    payload->barrier = barrier;
+    payload->node = env_.self;
+    payload->vt = vt_;
+    payload->intervals = std::move(recs);
+    payload->mem_pressure = pressure;
+    Send(kBarrierManager, MsgType::kBarrierEnter, 0, bytes, std::move(payload));
+  }
+
+  co_await *barrier_waiting_;
+  barrier_waiting_.reset();
+  Trace(TraceEvent::kBarrierExit, barrier);
+  ws.Finish();
+}
+
+void ProtocolNode::HandleBarrierEnter(BarrierId barrier, NodeId node, const VectorClock& nvt,
+                                      std::vector<IntervalRecord> intervals, bool mem_pressure) {
+  BarrierManagerState& bm = barrier_mgr_[barrier];
+  if (bm.arrival_vt.empty()) {
+    bm.arrival_vt.assign(static_cast<size_t>(env_.nodes), VectorClock(env_.nodes));
+    bm.present.assign(static_cast<size_t>(env_.nodes), false);
+  }
+  HLRC_CHECK(!bm.present[static_cast<size_t>(node)]);
+  bm.present[static_cast<size_t>(node)] = true;
+  bm.arrival_vt[static_cast<size_t>(node)] = nvt;
+  bm.mem_pressure = bm.mem_pressure || mem_pressure;
+  ++bm.arrived;
+
+  const SimTime cost = costs().barrier_handling + ApplyIntervals(intervals);
+  // Merge in case the arriving vt is ahead in components we have no records
+  // for (cannot happen today, but keeps the invariant explicit).
+  vt_.MergeWith(nvt);
+
+  env_.cpu->RunService(cost, BusyCat::kWriteNotice, [this, barrier] {
+    auto it = barrier_mgr_.find(barrier);
+    if (it != barrier_mgr_.end() && it->second.arrived == env_.nodes && !it->second.launched) {
+      it->second.launched = true;
+      BarrierAllArrived(barrier);
+    }
+  });
+}
+
+void ProtocolNode::BarrierAllArrived(BarrierId barrier) {
+  const bool pressure = barrier_mgr_[barrier].mem_pressure;
+  SpawnDetached([](ProtocolNode* self, BarrierId b, bool mem) -> Task<void> {
+    co_await self->BarrierPreRelease(b, mem);
+    self->SendBarrierReleases(b);
+  }(this, barrier, pressure));
+}
+
+std::vector<IntervalRecord> ProtocolNode::PackBarrierReleaseFor(BarrierId barrier,
+                                                                NodeId node) const {
+  auto it = barrier_mgr_.find(barrier);
+  HLRC_CHECK(it != barrier_mgr_.end());
+  return PackIntervalsFor(it->second.arrival_vt[static_cast<size_t>(node)]);
+}
+
+void ProtocolNode::SendBarrierReleases(BarrierId barrier) {
+  BarrierManagerState bm = std::move(barrier_mgr_[barrier]);
+  barrier_mgr_.erase(barrier);
+
+  SimTime cost = 0;
+  for (NodeId n = 0; n < env_.nodes; ++n) {
+    if (n == env_.self) {
+      continue;
+    }
+    std::vector<IntervalRecord> recs = PackIntervalsFor(bm.arrival_vt[static_cast<size_t>(n)]);
+    cost += costs().barrier_handling + costs().wn_pack * static_cast<SimTime>(recs.size());
+    int64_t bytes = 16 + vt_.EncodedSize();
+    for (const IntervalRecord& rec : recs) {
+      bytes += IntervalBytes(rec);
+    }
+    auto payload = std::make_unique<BarrierReleasePayload>();
+    payload->barrier = barrier;
+    payload->intervals = std::move(recs);
+    payload->max_vt = vt_;
+    Send(n, MsgType::kBarrierRelease, 0, bytes, std::move(payload));
+  }
+  // The manager releases itself once the send-side work is charged.
+  env_.cpu->RunService(cost, BusyCat::kWriteNotice,
+                       [this] { HandleBarrierRelease({}, vt_); });
+}
+
+void ProtocolNode::HandleBarrierRelease(std::vector<IntervalRecord> intervals,
+                                        const VectorClock& max_vt) {
+  const SimTime cost = ApplyIntervals(intervals);
+  vt_.MergeWith(max_vt);
+  env_.cpu->RunService(cost, BusyCat::kWriteNotice, [this] {
+    // Everything known at this barrier is now known everywhere: prune the
+    // interval log (diffs and per-page state are managed by the subclass).
+    known_intervals_.clear();
+    known_interval_bytes_ = 0;
+    sent_to_manager_vt_ = vt_;
+    OnBarrierReleased();
+    HLRC_CHECK(barrier_waiting_ != nullptr);
+    barrier_waiting_->Complete();
+  });
+}
+
+Task<void> ProtocolNode::BarrierPreRelease(BarrierId /*barrier*/, bool /*mem_pressure*/) {
+  co_return;
+}
+
+void ProtocolNode::OnBarrierReleased() {}
+
+// ---------------------------------------------------------------------------
+// Message dispatch.
+
+void ProtocolNode::HandleMessage(Message msg) {
+  switch (msg.type) {
+    case MsgType::kLockRequest: {
+      auto* p = static_cast<LockRequestPayload*>(msg.payload.get());
+      // Lock management always runs on the compute processor (paper §2.4.1).
+      Serve(/*on_coproc=*/false, /*interrupt=*/true, costs().lock_handling, BusyCat::kService,
+            [this, lock = p->lock, requester = p->requester, vt = p->vt] {
+              HandleLockRequest(lock, requester, vt);
+            });
+      return;
+    }
+    case MsgType::kLockForward: {
+      auto* p = static_cast<LockForwardPayload*>(msg.payload.get());
+      Serve(/*on_coproc=*/false, /*interrupt=*/true, costs().lock_handling, BusyCat::kService,
+            [this, lock = p->lock, requester = p->requester, vt = p->vt] {
+              HandleLockForward(lock, requester, vt);
+            });
+      return;
+    }
+    case MsgType::kLockGrant: {
+      auto* p = static_cast<LockGrantPayload*>(msg.payload.get());
+      // Solicited reply: the requester is blocked in a receive, no interrupt.
+      Serve(/*on_coproc=*/false, /*interrupt=*/false, 0, BusyCat::kService,
+            [this, lock = p->lock, intervals = std::move(p->intervals)]() mutable {
+              HandleLockGrant(lock, std::move(intervals));
+            });
+      return;
+    }
+    case MsgType::kBarrierEnter: {
+      auto* p = static_cast<BarrierEnterPayload*>(msg.payload.get());
+      Serve(/*on_coproc=*/false, /*interrupt=*/true, 0, BusyCat::kService,
+            [this, barrier = p->barrier, node = p->node, vt = p->vt,
+             intervals = std::move(p->intervals), mem = p->mem_pressure]() mutable {
+              HandleBarrierEnter(barrier, node, vt, std::move(intervals), mem);
+            });
+      return;
+    }
+    case MsgType::kBarrierRelease: {
+      auto* p = static_cast<BarrierReleasePayload*>(msg.payload.get());
+      Serve(/*on_coproc=*/false, /*interrupt=*/false, 0, BusyCat::kService,
+            [this, intervals = std::move(p->intervals), max_vt = p->max_vt]() mutable {
+              HandleBarrierRelease(std::move(intervals), max_vt);
+            });
+      return;
+    }
+    default:
+      HandleProtocolMessage(std::move(msg));
+      return;
+  }
+}
+
+}  // namespace hlrc

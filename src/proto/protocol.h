@@ -1,0 +1,376 @@
+// Base class shared by all four SVM protocols.
+//
+// One ProtocolNode lives on every simulated node. It owns the node's interval
+// and vector-timestamp machinery, the distributed lock algorithm and the
+// centralized barrier manager (paper §3.5), write-notice propagation, and the
+// plumbing that routes remote-request servicing to the right processor
+// (compute processor via a costed receive interrupt for the non-overlapped
+// protocols, communication co-processor for the overlapped ones).
+//
+// Subclasses implement update handling: where diffs go at interval end and
+// how a page fault is resolved (homeless diff collection for LRC/OLRC,
+// home-page fetch for HLRC/OHLRC).
+#ifndef SRC_PROTO_PROTOCOL_H_
+#define SRC_PROTO_PROTOCOL_H_
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "src/common/types.h"
+#include "src/mem/diff.h"
+#include "src/mem/page_table.h"
+#include "src/mem/shared_space.h"
+#include "src/net/network.h"
+#include "src/proto/cost_model.h"
+#include "src/proto/interval.h"
+#include "src/proto/options.h"
+#include "src/proto/vector_clock.h"
+#include "src/sim/completion.h"
+#include "src/sim/processor.h"
+#include "src/sim/task.h"
+#include "src/trace/trace.h"
+
+namespace hlrc {
+
+// Per-node protocol event counters (paper Table 4) and wait accounting
+// (paper Figures 3 and 4).
+struct ProtoStats {
+  int64_t read_misses = 0;
+  int64_t write_faults = 0;
+  int64_t page_fetches = 0;  // Full pages fetched from a remote node.
+  int64_t diffs_created = 0;
+  int64_t diffs_applied = 0;
+  int64_t diff_requests_sent = 0;
+  int64_t lock_acquires = 0;   // Application-level acquires.
+  int64_t remote_acquires = 0; // Acquires that needed messages.
+  int64_t barriers = 0;
+  int64_t intervals_closed = 0;
+  int64_t write_notices_received = 0;
+  int64_t pages_invalidated = 0;
+  int64_t gc_runs = 0;
+
+  WaitBreakdown waits;
+
+  // Protocol memory high-water mark (Table 6).
+  int64_t proto_mem_highwater = 0;
+};
+
+class ProtocolNode {
+ public:
+  // Wiring provided by svm::System.
+  struct Env {
+    Engine* engine = nullptr;
+    Network* network = nullptr;
+    Processor* cpu = nullptr;  // Compute processor.
+    Processor* cop = nullptr;  // Communication co-processor.
+    PageTable* pages = nullptr;
+    const SharedSpace* space = nullptr;  // For allocation-aware home placement.
+    const CostModel* costs = nullptr;
+    const ProtocolOptions* options = nullptr;
+    TraceLog* trace = nullptr;  // Optional structured event trace.
+    NodeId self = kInvalidNode;
+    int nodes = 0;
+  };
+
+  static std::unique_ptr<ProtocolNode> Create(const Env& env);
+
+  explicit ProtocolNode(const Env& env);
+  virtual ~ProtocolNode();
+  ProtocolNode(const ProtocolNode&) = delete;
+  ProtocolNode& operator=(const ProtocolNode&) = delete;
+
+  // ---- Application-facing operations --------------------------------------
+
+  Task<void> Acquire(LockId lock);
+  Task<void> Release(LockId lock);
+  Task<void> Barrier(BarrierId barrier);
+
+  // One contiguous page range of an access grant.
+  struct PageSpan {
+    PageId first;
+    PageId last;
+    bool write;
+  };
+
+  // Ensures every page in `spans` is accessible at the requested level, then
+  // returns from a scan pass that performed no fault. That final pass runs
+  // synchronously with the caller's resumption, so the grant holds until the
+  // application's next co_await: this mirrors hardware-MMU semantics, where a
+  // store after an asynchronous interval close (which write-protects pages)
+  // would re-fault. Callers must perform their stores before suspending
+  // again.
+  Task<void> EnsureAccessSpans(std::vector<PageSpan> spans);
+
+  // Convenience single-range form.
+  Task<void> EnsureAccess(PageId first, PageId last, bool write);
+
+  // ---- Network entry -------------------------------------------------------
+
+  void HandleMessage(Message msg);
+
+  // ---- Introspection -------------------------------------------------------
+
+  const ProtoStats& stats() const { return stats_; }
+  ProtoStats& mutable_stats() { return stats_; }
+  const VectorClock& vt() const { return vt_; }
+
+  // Current protocol memory footprint: interval records + twins + subclass
+  // state (stored diffs, per-page timestamp vectors, ...).
+  virtual int64_t ProtocolMemoryBytes() const;
+
+  NodeId self() const { return env_.self; }
+  int nodes() const { return env_.nodes; }
+
+  // Number of pages actually allocated by the application; the block home
+  // policy distributes over this range. Set by System at run start.
+  void SetUsedPages(int used) { used_pages_ = used; }
+
+  // Attaches a structured trace sink (System::EnableTracing).
+  void SetTraceLog(TraceLog* trace) { env_.trace = trace; }
+
+ protected:
+  // ---- Subclass interface --------------------------------------------------
+
+  // Called when an interval with dirty pages closes, before the record is
+  // published. Computes diffs (data-wise, instantly) and may remove pages
+  // whose diff turned out empty (a write that did not change the page needs
+  // no write notice). Returns compute-processor costs to charge; `post` runs
+  // after the costs have been charged (it sends diff flushes for the
+  // non-overlapped home-based protocol, or schedules co-processor diffing for
+  // the overlapped ones).
+  struct CloseActions {
+    SimTime protect_cost = 0;  // Reprotection of dirty pages.
+    SimTime diff_cost = 0;     // Diff creation on the compute processor.
+    std::function<void()> post;
+    SimTime TotalCpu() const { return protect_cost + diff_cost; }
+  };
+  virtual void OnIntervalClosed(IntervalRecord* rec, CloseActions* actions) = 0;
+
+  // Invalidation bookkeeping for one write notice. Returns true if the page
+  // mapping was actually invalidated (for cost accounting).
+  virtual bool OnWriteNotice(const IntervalRecord& rec, PageId page) = 0;
+
+  // Brings `page` up to date after a fault. The page-fault entry cost has
+  // already been charged. Runs on the faulting node's app coroutine.
+  virtual Task<void> ResolveFault(PageId page, bool write) = 0;
+
+  // Handles protocol-specific messages (diff/page/GC traffic).
+  virtual void HandleProtocolMessage(Message msg) = 0;
+
+  // Memory used by subclass data structures (Table 6).
+  virtual int64_t SubclassMemoryBytes() const = 0;
+
+  // Barrier-manager hook: runs after all nodes arrived, before releases are
+  // sent. The homeless protocols run garbage collection here. `mem_pressure`
+  // is true if any node flagged its protocol memory above threshold.
+  virtual Task<void> BarrierPreRelease(BarrierId barrier, bool mem_pressure);
+
+  // For the GC orchestration: the write notices node `node` is missing, i.e.
+  // exactly what its barrier release will carry. Only valid at the barrier
+  // manager between all-arrived and the releases.
+  std::vector<IntervalRecord> PackBarrierReleaseFor(BarrierId barrier, NodeId node) const;
+
+  // Called on every node when a barrier release is applied; lets subclasses
+  // prune per-barrier state.
+  virtual void OnBarrierReleased();
+
+  // Release-consistency flush barrier: `done` runs once every outstanding
+  // eager update of this node has been acknowledged. Grants and barrier
+  // enters are gated on it, so an eager protocol's writes are globally
+  // visible before any happens-before edge leaves the node. The default (all
+  // lazy protocols) completes immediately.
+  virtual void FlushBarrier(std::function<void()> done) { done(); }
+
+  // ---- Services shared with subclasses -------------------------------------
+
+  // Charges `cost` on the compute processor from the app coroutine.
+  Task<void> ChargeCpu(SimTime cost, BusyCat cat);
+
+  // Routes request servicing: `interrupt` charges the receive-interrupt cost
+  // first (non-overlapped protocols servicing unsolicited requests on the
+  // compute processor); on_coproc selects the co-processor.
+  void Serve(bool on_coproc, bool interrupt, SimTime cost, BusyCat cat,
+             std::function<void()> fn);
+
+  // Convenience: service routing for a request-type message under this
+  // protocol's overlap policy for data operations.
+  void ServeDataRequest(SimTime cost, BusyCat cat, std::function<void()> fn);
+
+  // Closes the current interval if it has dirty pages: bumps the vector
+  // timestamp, records the interval, reprotects dirty pages, and invokes
+  // OnIntervalClosed. Returns actions for the caller to charge/run.
+  CloseActions CloseIntervalPrepared();
+
+  // App-side interval close (charges on the app coroutine).
+  Task<void> CloseIntervalFromApp();
+
+  // Marks a page dirty in the current open interval.
+  void MarkDirty(PageId page);
+  bool IsDirtyInOpenInterval(PageId page) const;
+
+  // Applies a batch of interval records learned from a grant or release.
+  // Returns the cpu cost of the write-notice handling (already includes page
+  // invalidation costs).
+  SimTime ApplyIntervals(const std::vector<IntervalRecord>& recs);
+
+  // Packs all known intervals the node `vt` has not seen.
+  std::vector<IntervalRecord> PackIntervalsFor(const VectorClock& vt) const;
+
+  // Sends a message, filling in the source.
+  void Send(NodeId dst, MsgType type, int64_t update_bytes, int64_t protocol_bytes,
+            std::unique_ptr<Payload> payload);
+
+  // Home of a page under the configured policy (home-based protocols).
+  NodeId HomeOf(PageId page) const;
+
+  bool overlapped() const { return IsOverlapped(env_.options->kind); }
+  bool home_based() const { return IsHomeBased(env_.options->kind); }
+
+  // Updates the protocol-memory high-water mark.
+  void NoteMemory();
+
+  // Records a structured trace event (no-op when tracing is off).
+  void Trace(TraceEvent event, int64_t arg0 = 0, int64_t arg1 = 0) const {
+    if (env_.trace != nullptr) {
+      env_.trace->Record(env_.self, env_.engine->Now(), event, arg0, arg1);
+    }
+  }
+
+  // Whether interval record vts are shipped on the wire (homeless only).
+  bool ShipVt() const { return !home_based(); }
+
+  int64_t IntervalBytes(const IntervalRecord& rec) const {
+    return rec.EncodedSize(ShipVt());
+  }
+
+  const Env& env() const { return env_; }
+  Engine* engine() const { return env_.engine; }
+  const CostModel& costs() const { return *env_.costs; }
+  PageTable& pages() const { return *env_.pages; }
+
+  // Wait-accounting helper: measures the wall time from construction to
+  // Finish() minus the compute-processor busy time accrued in between, and
+  // adds it to `stats_.waits[cat]`. If `deduct` is not kNone the same amount
+  // is subtracted from that category (used to carve GC waits out of the
+  // enclosing barrier wait).
+  struct WaitScope {
+    ProtocolNode* node;
+    WaitCat cat;
+    WaitCat deduct;
+    SimTime t0;
+    SimTime busy0;
+    WaitScope(ProtocolNode* n, WaitCat c, WaitCat d = WaitCat::kNone);
+    void Finish();
+  };
+
+  ProtoStats stats_;
+  VectorClock vt_;
+
+  // All interval records known to this node, pruned at barriers once every
+  // node has seen them.
+  std::map<IntervalKey, IntervalRecord> known_intervals_;
+  int64_t known_interval_bytes_ = 0;
+
+  // Looks up a known interval record; aborts if missing.
+  const IntervalRecord& KnownInterval(NodeId writer, uint32_t id) const;
+
+ private:
+  // ---- Lock algorithm ------------------------------------------------------
+
+  struct LockState {
+    bool held = false;    // Token cached here.
+    bool in_use = false;  // App is inside acquire..release.
+    NodeId pending_requester = kInvalidNode;
+    VectorClock pending_vt;
+    std::unique_ptr<Completion> waiting;  // Local acquire waiting for grant.
+  };
+  struct LockManagerState {
+    NodeId last_requester = kInvalidNode;
+  };
+
+  NodeId LockManagerNode(LockId lock) const {
+    return static_cast<NodeId>(lock % env_.nodes);
+  }
+
+  LockState& Lock(LockId lock);
+  LockManagerState& ManagerState(LockId lock);
+
+  void HandleLockRequest(LockId lock, NodeId requester, const VectorClock& rvt);
+  void HandleLockForward(LockId lock, NodeId requester, const VectorClock& rvt);
+  void GrantLock(LockId lock, NodeId requester, const VectorClock& rvt);
+  void HandleLockGrant(LockId lock, std::vector<IntervalRecord> intervals);
+
+  // ---- Barrier algorithm ---------------------------------------------------
+
+  static constexpr NodeId kBarrierManager = 0;
+
+  struct BarrierManagerState {
+    int arrived = 0;
+    bool mem_pressure = false;
+    bool launched = false;  // BarrierAllArrived already triggered.
+    std::vector<VectorClock> arrival_vt;  // Indexed by node.
+    std::vector<bool> present;
+  };
+
+  void HandleBarrierEnter(BarrierId barrier, NodeId node, const VectorClock& nvt,
+                          std::vector<IntervalRecord> intervals, bool mem_pressure);
+  void BarrierAllArrived(BarrierId barrier);
+  void SendBarrierReleases(BarrierId barrier);
+  void HandleBarrierRelease(std::vector<IntervalRecord> intervals, const VectorClock& max_vt);
+
+  Env env_;
+
+  std::unordered_map<LockId, LockState> locks_;
+  std::unordered_map<LockId, LockManagerState> lock_managers_;
+
+  std::unordered_map<BarrierId, BarrierManagerState> barrier_mgr_;
+  std::unique_ptr<Completion> barrier_waiting_;
+  VectorClock sent_to_manager_vt_;
+
+  // Open-interval dirty set.
+  std::vector<PageId> open_dirty_;
+  std::vector<bool> dirty_flag_;  // Indexed by page.
+
+  int used_pages_ = 0;  // 0 => whole space.
+};
+
+// Message payloads shared by all protocols.
+
+struct LockRequestPayload : Payload {
+  LockId lock;
+  NodeId requester;
+  VectorClock vt;
+};
+
+struct LockForwardPayload : Payload {
+  LockId lock;
+  NodeId requester;
+  VectorClock vt;
+};
+
+struct LockGrantPayload : Payload {
+  LockId lock;
+  std::vector<IntervalRecord> intervals;
+};
+
+struct BarrierEnterPayload : Payload {
+  BarrierId barrier;
+  NodeId node;
+  VectorClock vt;
+  std::vector<IntervalRecord> intervals;
+  bool mem_pressure = false;
+};
+
+struct BarrierReleasePayload : Payload {
+  BarrierId barrier;
+  std::vector<IntervalRecord> intervals;
+  VectorClock max_vt;
+};
+
+}  // namespace hlrc
+
+#endif  // SRC_PROTO_PROTOCOL_H_

@@ -1,0 +1,80 @@
+// One-shot awaitable completion, the bridge between event-driven protocol
+// handlers and the coroutine application programs. A coroutine co_awaits a
+// Completion; a message handler later calls Complete(), which resumes the
+// waiter through an engine event at the current virtual time (keeping stack
+// depth bounded and preserving deterministic ordering).
+#ifndef SRC_SIM_COMPLETION_H_
+#define SRC_SIM_COMPLETION_H_
+
+#include <coroutine>
+
+#include "src/common/check.h"
+#include "src/sim/engine.h"
+
+namespace hlrc {
+
+class Completion {
+ public:
+  explicit Completion(Engine* engine) : engine_(engine) {}
+  Completion(const Completion&) = delete;
+  Completion& operator=(const Completion&) = delete;
+
+  bool IsDone() const { return done_; }
+
+  // Marks the completion done and resumes the waiter (if any) at the current
+  // virtual time. Calling Complete twice is a programming error.
+  void Complete() {
+    HLRC_CHECK(!done_);
+    done_ = true;
+    if (waiter_) {
+      std::coroutine_handle<> h = waiter_;
+      waiter_ = nullptr;
+      engine_->Schedule(0, [h] { h.resume(); });
+    }
+  }
+
+  // Re-arms the completion for reuse. Only valid when done and not awaited.
+  void Reset() {
+    HLRC_CHECK(done_);
+    HLRC_CHECK(!waiter_);
+    done_ = false;
+  }
+
+  // The awaiter holds a pointer so that co_await on an lvalue Completion
+  // works (the compiler stores the awaiter by value in the coroutine frame).
+  struct Awaiter {
+    Completion* c;
+    bool await_ready() const noexcept { return c->done_; }
+    void await_suspend(std::coroutine_handle<> h) {
+      HLRC_CHECK(!c->waiter_);  // Single waiter only.
+      c->waiter_ = h;
+    }
+    void await_resume() const noexcept {}
+  };
+  Awaiter operator co_await() noexcept { return Awaiter{this}; }
+
+ private:
+  Engine* engine_;
+  bool done_ = false;
+  std::coroutine_handle<> waiter_ = nullptr;
+};
+
+// Awaitable that suspends the caller for `delay` nanoseconds of virtual time.
+class SleepFor {
+ public:
+  SleepFor(Engine* engine, SimTime delay) : engine_(engine), delay_(delay) {}
+
+  bool await_ready() const noexcept { return delay_ <= 0; }
+  void await_suspend(std::coroutine_handle<> h) {
+    engine_->Schedule(delay_, [h] { h.resume(); });
+  }
+  void await_resume() const noexcept {}
+
+ private:
+  Engine* engine_;
+  SimTime delay_;
+};
+
+}  // namespace hlrc
+
+#endif  // SRC_SIM_COMPLETION_H_

@@ -1,0 +1,132 @@
+// Deterministic discrete-event simulation engine.
+//
+// The engine owns virtual time. Events are callbacks scheduled at absolute
+// virtual times and executed in (time, insertion-order) order, which makes
+// every run bit-for-bit reproducible. Events can be cancelled, which the
+// processor model uses to preempt application execution when an interrupt
+// arrives.
+#ifndef SRC_SIM_ENGINE_H_
+#define SRC_SIM_ENGINE_H_
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <unordered_map>
+#include <vector>
+
+#include "src/common/check.h"
+#include "src/common/types.h"
+
+namespace hlrc {
+
+class Engine {
+ public:
+  using EventId = uint64_t;
+  static constexpr EventId kInvalidEvent = 0;
+
+  Engine() = default;
+  Engine(const Engine&) = delete;
+  Engine& operator=(const Engine&) = delete;
+
+  SimTime Now() const { return now_; }
+
+  // Schedules `fn` to run `delay` nanoseconds from now. `delay` must be >= 0.
+  EventId Schedule(SimTime delay, std::function<void()> fn) {
+    HLRC_CHECK(delay >= 0);
+    return ScheduleAt(now_ + delay, std::move(fn));
+  }
+
+  // Schedules `fn` at absolute virtual time `t` (>= Now()).
+  EventId ScheduleAt(SimTime t, std::function<void()> fn) {
+    HLRC_CHECK(t >= now_);
+    const EventId id = next_id_++;
+    pending_.emplace(id, std::move(fn));
+    queue_.push(QEntry{t, id});
+    return id;
+  }
+
+  // Cancels a previously scheduled event. Cancelling an event that already
+  // ran (or was already cancelled) is a no-op.
+  void Cancel(EventId id) { pending_.erase(id); }
+
+  bool HasCancelablePending(EventId id) const { return pending_.count(id) != 0; }
+
+  // Runs a single event. Returns false when the queue is empty.
+  bool Step() {
+    while (!queue_.empty()) {
+      const QEntry top = queue_.top();
+      queue_.pop();
+      auto it = pending_.find(top.id);
+      if (it == pending_.end()) {
+        continue;  // Cancelled.
+      }
+      HLRC_CHECK(top.time >= now_);
+      now_ = top.time;
+      std::function<void()> fn = std::move(it->second);
+      pending_.erase(it);
+      ++events_processed_;
+      fn();
+      return true;
+    }
+    return false;
+  }
+
+  // Runs until no events remain.
+  void Run() {
+    while (Step()) {
+    }
+  }
+
+  // Runs until no events remain or virtual time would exceed `deadline`.
+  // Returns true if the queue drained, false if the deadline stopped the run.
+  bool RunUntil(SimTime deadline) {
+    while (!queue_.empty()) {
+      if (NextEventTime() > deadline) {
+        return false;
+      }
+      Step();
+    }
+    return true;
+  }
+
+  // Virtual time of the next runnable event; deadline checks only.
+  SimTime NextEventTime() {
+    while (!queue_.empty() && pending_.find(queue_.top().id) == pending_.end()) {
+      queue_.pop();
+    }
+    HLRC_CHECK(!queue_.empty());
+    return queue_.top().time;
+  }
+
+  bool Idle() {
+    while (!queue_.empty() && pending_.find(queue_.top().id) == pending_.end()) {
+      queue_.pop();
+    }
+    return queue_.empty();
+  }
+
+  int64_t events_processed() const { return events_processed_; }
+
+ private:
+  struct QEntry {
+    SimTime time;
+    EventId id;
+    // Later ids run later at equal time: FIFO among simultaneous events.
+    bool operator>(const QEntry& o) const {
+      if (time != o.time) {
+        return time > o.time;
+      }
+      return id > o.id;
+    }
+  };
+
+  SimTime now_ = 0;
+  EventId next_id_ = 1;
+  int64_t events_processed_ = 0;
+  std::priority_queue<QEntry, std::vector<QEntry>, std::greater<QEntry>> queue_;
+  std::unordered_map<EventId, std::function<void()>> pending_;
+};
+
+}  // namespace hlrc
+
+#endif  // SRC_SIM_ENGINE_H_

@@ -1,0 +1,161 @@
+// C++20 coroutine task types used to express per-node application programs.
+//
+// Task<T> is a lazily-started coroutine: it begins execution when awaited and
+// resumes its awaiter on completion via symmetric transfer. Root tasks are
+// launched with SpawnDetached(), which drives the task and invokes a
+// completion callback when the coroutine chain finishes.
+#ifndef SRC_SIM_TASK_H_
+#define SRC_SIM_TASK_H_
+
+#include <coroutine>
+#include <exception>
+#include <functional>
+#include <optional>
+#include <utility>
+
+#include "src/common/check.h"
+
+namespace hlrc {
+
+template <typename T = void>
+class Task;
+
+namespace internal {
+
+struct PromiseBase {
+  std::coroutine_handle<> continuation = std::noop_coroutine();
+
+  std::suspend_always initial_suspend() noexcept { return {}; }
+
+  struct FinalAwaiter {
+    bool await_ready() noexcept { return false; }
+    template <typename Promise>
+    std::coroutine_handle<> await_suspend(std::coroutine_handle<Promise> h) noexcept {
+      return h.promise().continuation;
+    }
+    void await_resume() noexcept {}
+  };
+  FinalAwaiter final_suspend() noexcept { return {}; }
+
+  void unhandled_exception() noexcept { std::terminate(); }
+};
+
+}  // namespace internal
+
+template <typename T>
+class Task {
+ public:
+  struct promise_type : internal::PromiseBase {
+    std::optional<T> value;
+    Task get_return_object() {
+      return Task(std::coroutine_handle<promise_type>::from_promise(*this));
+    }
+    void return_value(T v) { value = std::move(v); }
+  };
+
+  Task() = default;
+  explicit Task(std::coroutine_handle<promise_type> h) : h_(h) {}
+  Task(Task&& o) noexcept : h_(std::exchange(o.h_, nullptr)) {}
+  Task& operator=(Task&& o) noexcept {
+    if (this != &o) {
+      Destroy();
+      h_ = std::exchange(o.h_, nullptr);
+    }
+    return *this;
+  }
+  Task(const Task&) = delete;
+  Task& operator=(const Task&) = delete;
+  ~Task() { Destroy(); }
+
+  bool await_ready() const noexcept { return false; }
+  std::coroutine_handle<> await_suspend(std::coroutine_handle<> awaiter) noexcept {
+    h_.promise().continuation = awaiter;
+    return h_;
+  }
+  T await_resume() {
+    HLRC_CHECK(h_.promise().value.has_value());
+    return std::move(*h_.promise().value);
+  }
+
+ private:
+  void Destroy() {
+    if (h_) {
+      h_.destroy();
+      h_ = nullptr;
+    }
+  }
+  std::coroutine_handle<promise_type> h_ = nullptr;
+};
+
+template <>
+class Task<void> {
+ public:
+  struct promise_type : internal::PromiseBase {
+    Task get_return_object() {
+      return Task(std::coroutine_handle<promise_type>::from_promise(*this));
+    }
+    void return_void() {}
+  };
+
+  Task() = default;
+  explicit Task(std::coroutine_handle<promise_type> h) : h_(h) {}
+  Task(Task&& o) noexcept : h_(std::exchange(o.h_, nullptr)) {}
+  Task& operator=(Task&& o) noexcept {
+    if (this != &o) {
+      Destroy();
+      h_ = std::exchange(o.h_, nullptr);
+    }
+    return *this;
+  }
+  Task(const Task&) = delete;
+  Task& operator=(const Task&) = delete;
+  ~Task() { Destroy(); }
+
+  bool await_ready() const noexcept { return false; }
+  std::coroutine_handle<> await_suspend(std::coroutine_handle<> awaiter) noexcept {
+    h_.promise().continuation = awaiter;
+    return h_;
+  }
+  void await_resume() {}
+
+ private:
+  void Destroy() {
+    if (h_) {
+      h_.destroy();
+      h_ = nullptr;
+    }
+  }
+  std::coroutine_handle<promise_type> h_ = nullptr;
+};
+
+namespace internal {
+
+// Self-destroying coroutine used to drive a root Task.
+struct Detached {
+  struct promise_type {
+    Detached get_return_object() { return {}; }
+    std::suspend_never initial_suspend() noexcept { return {}; }
+    std::suspend_never final_suspend() noexcept { return {}; }
+    void return_void() {}
+    void unhandled_exception() noexcept { std::terminate(); }
+  };
+};
+
+inline Detached RunDetached(Task<void> task, std::function<void()> on_done) {
+  co_await std::move(task);
+  if (on_done) {
+    on_done();
+  }
+}
+
+}  // namespace internal
+
+// Starts `task` immediately as a root coroutine. `on_done` (optional) runs
+// synchronously when the task chain completes.
+inline void SpawnDetached(Task<void> task, std::function<void()> on_done = {}) {
+  internal::RunDetached(std::move(task), std::move(on_done));
+}
+
+}  // namespace hlrc
+
+#endif  // SRC_SIM_TASK_H_

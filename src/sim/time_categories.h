@@ -1,0 +1,102 @@
+// Time accounting categories used to reproduce the paper's Figure 3/4
+// execution-time breakdowns.
+#ifndef SRC_SIM_TIME_CATEGORIES_H_
+#define SRC_SIM_TIME_CATEGORIES_H_
+
+#include <array>
+#include <cstdint>
+
+#include "src/common/types.h"
+
+namespace hlrc {
+
+// What a processor is busy doing. kCompute is application work; everything
+// else is protocol overhead of one flavour or another.
+enum class BusyCat : int {
+  kCompute = 0,      // Application computation.
+  kTwin = 1,         // Twin (clean page copy) creation.
+  kDiffCreate = 2,   // Diff computation.
+  kDiffApply = 3,    // Diff application.
+  kWriteNotice = 4,  // Write-notice creation / processing.
+  kInterrupt = 5,    // Receive-interrupt entry cost.
+  kService = 6,      // Servicing remote requests (fetch page/diff, lock fwd).
+  kPageTransfer = 7, // Pushing page/diff bytes through the NIC.
+  kGc = 8,           // Garbage collection processing.
+  kFault = 9,        // Page fault entry / protection changes.
+  kCount = 10,
+};
+
+// What an application coroutine is blocked on while its compute processor is
+// idle.
+enum class WaitCat : int {
+  kNone = 0,
+  kData = 1,     // Page-miss servicing (data transfer time).
+  kLock = 2,     // Lock acquire.
+  kBarrier = 3,  // Barrier.
+  kGc = 4,       // Waiting for garbage collection to finish.
+  kCount = 5,
+};
+
+struct BusyBreakdown {
+  std::array<SimTime, static_cast<int>(BusyCat::kCount)> by_cat{};
+
+  void Add(BusyCat c, SimTime t) { by_cat[static_cast<int>(c)] += t; }
+  SimTime Get(BusyCat c) const { return by_cat[static_cast<int>(c)]; }
+  SimTime Total() const {
+    SimTime s = 0;
+    for (SimTime t : by_cat) {
+      s += t;
+    }
+    return s;
+  }
+  // Everything that is not application computation.
+  SimTime ProtocolOverhead() const { return Total() - Get(BusyCat::kCompute); }
+
+  BusyBreakdown& operator+=(const BusyBreakdown& o) {
+    for (int i = 0; i < static_cast<int>(BusyCat::kCount); ++i) {
+      by_cat[i] += o.by_cat[i];
+    }
+    return *this;
+  }
+  BusyBreakdown operator-(const BusyBreakdown& o) const {
+    BusyBreakdown r = *this;
+    for (int i = 0; i < static_cast<int>(BusyCat::kCount); ++i) {
+      r.by_cat[i] -= o.by_cat[i];
+    }
+    return r;
+  }
+};
+
+struct WaitBreakdown {
+  std::array<SimTime, static_cast<int>(WaitCat::kCount)> by_cat{};
+
+  void Add(WaitCat c, SimTime t) { by_cat[static_cast<int>(c)] += t; }
+  SimTime Get(WaitCat c) const { return by_cat[static_cast<int>(c)]; }
+  SimTime Total() const {
+    SimTime s = 0;
+    for (SimTime t : by_cat) {
+      s += t;
+    }
+    return s;
+  }
+  WaitBreakdown& operator+=(const WaitBreakdown& o) {
+    for (int i = 0; i < static_cast<int>(WaitCat::kCount); ++i) {
+      by_cat[i] += o.by_cat[i];
+    }
+    return *this;
+  }
+  WaitBreakdown operator-(const WaitBreakdown& o) const {
+    WaitBreakdown r = *this;
+    for (int i = 0; i < static_cast<int>(WaitCat::kCount); ++i) {
+      r.by_cat[i] -= o.by_cat[i];
+    }
+    return r;
+  }
+};
+
+const char* BusyCatName(BusyCat c);
+const char* WaitCatName(WaitCat c);
+
+}  // namespace hlrc
+
+#endif  // SRC_SIM_TIME_CATEGORIES_H_

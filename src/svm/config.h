@@ -1,0 +1,29 @@
+// Top-level simulation configuration.
+#ifndef SRC_SVM_CONFIG_H_
+#define SRC_SVM_CONFIG_H_
+
+#include <cstdint>
+
+#include "src/common/types.h"
+#include "src/net/network.h"
+#include "src/proto/cost_model.h"
+#include "src/proto/options.h"
+
+namespace hlrc {
+
+struct SimConfig {
+  int nodes = 8;
+  // SVM page size. The Paragon's OSF/1 used 8 KB pages; smaller pages keep
+  // scaled-down problems in a comparable sharing regime.
+  int64_t page_size = 4096;
+  // Size of the global shared address space (per-node mirror allocation).
+  int64_t shared_bytes = 64ll << 20;
+
+  ProtocolOptions protocol;
+  NetworkConfig network;
+  CostModel costs;
+};
+
+}  // namespace hlrc
+
+#endif  // SRC_SVM_CONFIG_H_

@@ -1,0 +1,60 @@
+// Partitioning helpers shared by the benchmark applications and available to
+// user programs: balanced contiguous bands (rows, molecules, cells) and
+// contiguous block ownership, matching the paper's decompositions.
+#ifndef SRC_SVM_PARTITION_H_
+#define SRC_SVM_PARTITION_H_
+
+#include "src/common/check.h"
+#include "src/common/types.h"
+
+namespace hlrc {
+
+// A contiguous [first, last] range of items owned by one node. Empty when
+// last < first (more nodes than items).
+struct Band {
+  int first = 0;
+  int last = -1;
+
+  int size() const { return last - first + 1; }
+  bool empty() const { return last < first; }
+  bool Contains(int i) const { return i >= first && i <= last; }
+};
+
+// Splits `items` into `parts` balanced contiguous bands; the first
+// `items % parts` bands get one extra item.
+inline Band BandOf(int items, int parts, int index) {
+  HLRC_CHECK(parts > 0 && index >= 0 && index < parts);
+  const int per = items / parts;
+  const int extra = items % parts;
+  Band band;
+  band.first = index * per + (index < extra ? index : extra);
+  band.last = band.first + per - 1 + (index < extra ? 1 : 0);
+  return band;
+}
+
+// Owner of item `index` under the BandOf() split (the inverse mapping).
+inline int BandOwner(int items, int parts, int index) {
+  HLRC_CHECK(index >= 0 && index < items);
+  const int per = items / parts;
+  const int extra = items % parts;
+  const int boundary = extra * (per + 1);
+  if (index < boundary) {
+    return index / (per + 1);
+  }
+  if (per == 0) {
+    return parts - 1;  // Unreachable when index < items; defensive.
+  }
+  return extra + (index - boundary) / per;
+}
+
+// Contiguous-chunk owner: item i of `total` belongs to node floor(i*N/total).
+// This is the paper's LU block distribution ("contiguous blocks distributed
+// in contiguous chunks") and the block home policy's formula.
+inline NodeId ContiguousOwner(int64_t index, int64_t total, int nodes) {
+  HLRC_CHECK(index >= 0 && index < total);
+  return static_cast<NodeId>(index * nodes / total);
+}
+
+}  // namespace hlrc
+
+#endif  // SRC_SVM_PARTITION_H_

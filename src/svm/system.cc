@@ -1,0 +1,260 @@
+#include "src/svm/system.h"
+
+#include <cstdio>
+#include <utility>
+
+#include "src/common/check.h"
+#include "src/common/log.h"
+
+namespace hlrc {
+
+// ---------------------------------------------------------------------------
+// NodeContext.
+
+NodeContext::NodeContext(System* system, NodeId id) : system_(system), id_(id) {}
+
+int NodeContext::nodes() const { return system_->config_.nodes; }
+
+Task<void> NodeContext::Compute(SimTime duration) {
+  if (duration > 0) {
+    co_await system_->nodes_[static_cast<size_t>(id_)].cpu->ExecuteApp(duration,
+                                                                       BusyCat::kCompute);
+  }
+}
+
+Task<void> NodeContext::ComputeFlops(int64_t flops) {
+  return Compute(system_->config_.costs.FlopCost(flops));
+}
+
+Task<void> NodeContext::Read(GlobalAddr addr, int64_t bytes) {
+  HLRC_CHECK(bytes > 0);
+  PageTable& pt = *system_->nodes_[static_cast<size_t>(id_)].pages;
+  const PageId first = pt.PageOf(addr);
+  const PageId last = pt.PageOf(addr + static_cast<GlobalAddr>(bytes) - 1);
+  return system_->nodes_[static_cast<size_t>(id_)].proto->EnsureAccess(first, last, false);
+}
+
+Task<void> NodeContext::Write(GlobalAddr addr, int64_t bytes) {
+  HLRC_CHECK(bytes > 0);
+  PageTable& pt = *system_->nodes_[static_cast<size_t>(id_)].pages;
+  const PageId first = pt.PageOf(addr);
+  const PageId last = pt.PageOf(addr + static_cast<GlobalAddr>(bytes) - 1);
+  return system_->nodes_[static_cast<size_t>(id_)].proto->EnsureAccess(first, last, true);
+}
+
+Task<void> NodeContext::Access(const std::vector<Range>& ranges) {
+  PageTable& pt = *system_->nodes_[static_cast<size_t>(id_)].pages;
+  std::vector<ProtocolNode::PageSpan> spans;
+  spans.reserve(ranges.size());
+  for (const Range& r : ranges) {
+    HLRC_CHECK(r.bytes > 0);
+    spans.push_back(ProtocolNode::PageSpan{
+        pt.PageOf(r.addr), pt.PageOf(r.addr + static_cast<GlobalAddr>(r.bytes) - 1), r.write});
+  }
+  return system_->nodes_[static_cast<size_t>(id_)].proto->EnsureAccessSpans(std::move(spans));
+}
+
+bool NodeContext::NeedsAccess(GlobalAddr addr, int64_t bytes, bool write) const {
+  PageTable& pt = *system_->nodes_[static_cast<size_t>(id_)].pages;
+  const PageId first = pt.PageOf(addr);
+  const PageId last = pt.PageOf(addr + static_cast<GlobalAddr>(bytes) - 1);
+  for (PageId p = first; p <= last; ++p) {
+    const PageProt prot = pt.State(p).prot;
+    if (prot == PageProt::kNone || (write && prot != PageProt::kReadWrite)) {
+      return true;
+    }
+  }
+  return false;
+}
+
+Task<void> NodeContext::Lock(LockId lock) {
+  return system_->nodes_[static_cast<size_t>(id_)].proto->Acquire(lock);
+}
+
+Task<void> NodeContext::Unlock(LockId lock) {
+  return system_->nodes_[static_cast<size_t>(id_)].proto->Release(lock);
+}
+
+Task<void> NodeContext::Barrier(BarrierId barrier) {
+  return system_->nodes_[static_cast<size_t>(id_)].proto->Barrier(barrier);
+}
+
+std::byte* NodeContext::RawPtr(GlobalAddr addr) const {
+  return system_->nodes_[static_cast<size_t>(id_)].pages->AddrData(addr);
+}
+
+void NodeContext::SnapshotPhase(int phase) {
+  system_->report_.phases[{phase, id_}] = system_->SnapshotNode(id_);
+}
+
+// ---------------------------------------------------------------------------
+// System.
+
+System::System(const SimConfig& config) : config_(config) {
+  HLRC_CHECK(config_.nodes > 0);
+  engine_ = std::make_unique<Engine>();
+  network_ = std::make_unique<Network>(engine_.get(), config_.nodes, config_.network);
+  space_ = std::make_unique<SharedSpace>(config_.shared_bytes, config_.page_size);
+
+  nodes_.resize(static_cast<size_t>(config_.nodes));
+  for (NodeId n = 0; n < config_.nodes; ++n) {
+    Node& node = nodes_[static_cast<size_t>(n)];
+    char name[32];
+    std::snprintf(name, sizeof(name), "cpu%d", n);
+    node.cpu = std::make_unique<Processor>(engine_.get(), name);
+    std::snprintf(name, sizeof(name), "cop%d", n);
+    node.cop = std::make_unique<Processor>(engine_.get(), name);
+    node.pages = std::make_unique<PageTable>(config_.shared_bytes, config_.page_size);
+
+    ProtocolNode::Env env;
+    env.engine = engine_.get();
+    env.network = network_.get();
+    env.cpu = node.cpu.get();
+    env.cop = node.cop.get();
+    env.pages = node.pages.get();
+    env.space = space_.get();
+    env.costs = &config_.costs;
+    env.options = &config_.protocol;
+    env.self = n;
+    env.nodes = config_.nodes;
+    node.proto = ProtocolNode::Create(env);
+    node.ctx = std::make_unique<NodeContext>(this, n);
+
+    network_->SetHandler(
+        n, [proto = node.proto.get()](Message msg) { proto->HandleMessage(std::move(msg)); });
+  }
+}
+
+System::~System() = default;
+
+TraceLog* System::EnableTracing(size_t capacity) {
+  HLRC_CHECK_MSG(!ran_, "EnableTracing must precede Run");
+  trace_ = std::make_unique<TraceLog>(capacity);
+  for (Node& node : nodes_) {
+    node.proto->SetTraceLog(trace_.get());
+  }
+  return trace_.get();
+}
+
+void System::Run(const Program& program) {
+  HLRC_CHECK_MSG(!ran_, "System::Run may only be called once");
+  ran_ = true;
+
+  const int used_pages = static_cast<int>(
+      (space_->AllocatedBytes() + config_.page_size - 1) / config_.page_size);
+  for (NodeId n = 0; n < config_.nodes; ++n) {
+    nodes_[static_cast<size_t>(n)].proto->SetUsedPages(std::max(used_pages, 1));
+  }
+
+  for (NodeId n = 0; n < config_.nodes; ++n) {
+    Node& node = nodes_[static_cast<size_t>(n)];
+    SpawnDetached(program(*node.ctx), [this, n] {
+      Node& done_node = nodes_[static_cast<size_t>(n)];
+      done_node.done = true;
+      done_node.finish_time = engine_->Now();
+    });
+  }
+
+  engine_->Run();
+
+  for (NodeId n = 0; n < config_.nodes; ++n) {
+    HLRC_CHECK_MSG(nodes_[static_cast<size_t>(n)].done,
+                   "deadlock: node %d did not finish (vt stuck, check lock/barrier pairing)",
+                   n);
+  }
+
+  report_.total_time = 0;
+  report_.app_memory_bytes = space_->AllocatedBytes();
+  report_.nodes.clear();
+  for (NodeId n = 0; n < config_.nodes; ++n) {
+    NodeReport r = SnapshotNode(n);
+    report_.total_time = std::max(report_.total_time, r.finish_time);
+    report_.nodes.push_back(std::move(r));
+  }
+}
+
+NodeReport System::SnapshotNode(NodeId n) const {
+  const Node& node = nodes_[static_cast<size_t>(n)];
+  NodeReport r;
+  r.finish_time = node.done ? node.finish_time : engine_->Now();
+  r.cpu_busy = node.cpu->busy();
+  r.cop_busy = node.cop->busy();
+  r.proto = node.proto->stats();
+  r.waits = r.proto.waits;
+  r.traffic = network_->NodeStats(n);
+  r.proto_mem_highwater = r.proto.proto_mem_highwater;
+  return r;
+}
+
+std::byte* System::NodeMemory(NodeId node, GlobalAddr addr) {
+  return nodes_[static_cast<size_t>(node)].pages->AddrData(addr);
+}
+
+NodeReport RunReport::Average() const {
+  NodeReport avg = Totals();
+  const int64_t n = static_cast<int64_t>(nodes.size());
+  if (n == 0) {
+    return avg;
+  }
+  for (auto& v : avg.cpu_busy.by_cat) {
+    v /= n;
+  }
+  for (auto& v : avg.cop_busy.by_cat) {
+    v /= n;
+  }
+  for (auto& v : avg.waits.by_cat) {
+    v /= n;
+  }
+  avg.finish_time /= n;
+  avg.proto.read_misses /= n;
+  avg.proto.write_faults /= n;
+  avg.proto.page_fetches /= n;
+  avg.proto.diffs_created /= n;
+  avg.proto.diffs_applied /= n;
+  avg.proto.diff_requests_sent /= n;
+  avg.proto.lock_acquires /= n;
+  avg.proto.remote_acquires /= n;
+  avg.proto.barriers /= n;
+  avg.proto.intervals_closed /= n;
+  avg.proto.write_notices_received /= n;
+  avg.proto.pages_invalidated /= n;
+  avg.proto_mem_highwater /= n;
+  avg.traffic.msgs_sent /= n;
+  avg.traffic.update_bytes_sent /= n;
+  avg.traffic.protocol_bytes_sent /= n;
+  return avg;
+}
+
+NodeReport RunReport::Totals() const {
+  NodeReport total;
+  for (const NodeReport& r : nodes) {
+    total.finish_time += r.finish_time;
+    total.cpu_busy += r.cpu_busy;
+    total.cop_busy += r.cop_busy;
+    total.waits += r.waits;
+    total.proto.read_misses += r.proto.read_misses;
+    total.proto.write_faults += r.proto.write_faults;
+    total.proto.page_fetches += r.proto.page_fetches;
+    total.proto.diffs_created += r.proto.diffs_created;
+    total.proto.diffs_applied += r.proto.diffs_applied;
+    total.proto.diff_requests_sent += r.proto.diff_requests_sent;
+    total.proto.lock_acquires += r.proto.lock_acquires;
+    total.proto.remote_acquires += r.proto.remote_acquires;
+    total.proto.barriers += r.proto.barriers;
+    total.proto.intervals_closed += r.proto.intervals_closed;
+    total.proto.write_notices_received += r.proto.write_notices_received;
+    total.proto.pages_invalidated += r.proto.pages_invalidated;
+    total.proto.gc_runs += r.proto.gc_runs;
+    total.proto_mem_highwater += r.proto_mem_highwater;
+    total.traffic.msgs_sent += r.traffic.msgs_sent;
+    total.traffic.msgs_received += r.traffic.msgs_received;
+    total.traffic.update_bytes_sent += r.traffic.update_bytes_sent;
+    total.traffic.protocol_bytes_sent += r.traffic.protocol_bytes_sent;
+    for (size_t i = 0; i < r.traffic.msgs_by_type.size(); ++i) {
+      total.traffic.msgs_by_type[i] += r.traffic.msgs_by_type[i];
+    }
+  }
+  return total;
+}
+
+}  // namespace hlrc

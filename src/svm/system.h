@@ -1,0 +1,180 @@
+// svm::System — the user-facing entry point.
+//
+// A System builds the simulated multicomputer (engine, network, per-node
+// compute + communication processors, page tables, protocol instances), runs
+// one coroutine program per node against the shared-memory API, and reports
+// per-node statistics in the categories the paper uses.
+//
+// Programming model (paper §3.2, Splash-2 style): shared memory is carved
+// out with G_MALLOC-style allocation; programs synchronize exclusively with
+// LOCK/UNLOCK/BARRIER; a program announces its page accesses through
+// Read/Write (the software-MMU equivalent of touching the pages) and then
+// operates on raw pointers into its node's copy of the space.
+#ifndef SRC_SVM_SYSTEM_H_
+#define SRC_SVM_SYSTEM_H_
+
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/common/types.h"
+#include "src/mem/page_table.h"
+#include "src/mem/shared_space.h"
+#include "src/net/network.h"
+#include "src/proto/protocol.h"
+#include "src/sim/engine.h"
+#include "src/sim/processor.h"
+#include "src/sim/task.h"
+#include "src/svm/config.h"
+#include "src/trace/trace.h"
+
+namespace hlrc {
+
+class System;
+
+// Per-node handle passed to application programs.
+class NodeContext {
+ public:
+  NodeContext(System* system, NodeId id);
+
+  NodeId id() const { return id_; }
+  int nodes() const;
+
+  // Charges application computation on the compute processor.
+  Task<void> Compute(SimTime duration);
+  Task<void> ComputeFlops(int64_t flops);
+
+  // One range of an access grant.
+  struct Range {
+    GlobalAddr addr;
+    int64_t bytes;
+    bool write;
+  };
+
+  // Ensures [addr, addr+bytes) is readable / writable, faulting as needed.
+  //
+  // Contract (software-MMU equivalent of hardware write protection): a write
+  // grant only holds until the program's next co_await — an asynchronous
+  // interval close may re-protect pages afterwards. Perform all stores into a
+  // granted range before suspending, and use Access() to grant several ranges
+  // atomically when stores to multiple arrays are interleaved.
+  Task<void> Read(GlobalAddr addr, int64_t bytes);
+  Task<void> Write(GlobalAddr addr, int64_t bytes);
+  Task<void> Access(const std::vector<Range>& ranges);
+
+  // True if an access would fault (fast path check for hot loops).
+  bool NeedsAccess(GlobalAddr addr, int64_t bytes, bool write) const;
+
+  Task<void> Lock(LockId lock);
+  Task<void> Unlock(LockId lock);
+  Task<void> Barrier(BarrierId barrier);
+
+  // Raw pointer into this node's copy of the shared space. Only valid for
+  // ranges previously granted by Read/Write.
+  template <typename T>
+  T* Ptr(GlobalAddr addr) const {
+    return reinterpret_cast<T*>(RawPtr(addr));
+  }
+
+  // Snapshots this node's statistics under `phase` (used for the paper's
+  // Figure 4 inter-barrier windows).
+  void SnapshotPhase(int phase);
+
+  System* system() const { return system_; }
+
+ private:
+  std::byte* RawPtr(GlobalAddr addr) const;
+
+  System* system_;
+  NodeId id_;
+};
+
+// Everything measured about one node in one run.
+struct NodeReport {
+  SimTime finish_time = 0;
+  BusyBreakdown cpu_busy;
+  BusyBreakdown cop_busy;
+  WaitBreakdown waits;
+  ProtoStats proto;
+  TrafficStats traffic;
+  int64_t proto_mem_highwater = 0;
+
+  // The paper's Figure 3 categories.
+  SimTime Computation() const { return cpu_busy.Get(BusyCat::kCompute); }
+  SimTime DataTransfer() const { return waits.Get(WaitCat::kData); }
+  SimTime LockTime() const { return waits.Get(WaitCat::kLock); }
+  SimTime BarrierTime() const { return waits.Get(WaitCat::kBarrier); }
+  SimTime GcTime() const { return waits.Get(WaitCat::kGc) + cpu_busy.Get(BusyCat::kGc); }
+  SimTime ProtocolOverhead() const {
+    return cpu_busy.Total() - cpu_busy.Get(BusyCat::kCompute) - cpu_busy.Get(BusyCat::kGc);
+  }
+};
+
+struct RunReport {
+  SimTime total_time = 0;
+  int64_t app_memory_bytes = 0;
+  std::vector<NodeReport> nodes;
+  // Phase snapshots: (phase, node) -> cumulative report at the snapshot.
+  std::map<std::pair<int, NodeId>, NodeReport> phases;
+
+  NodeReport Average() const;
+  NodeReport Totals() const;
+};
+
+class System {
+ public:
+  using Program = std::function<Task<void>(NodeContext&)>;
+
+  explicit System(const SimConfig& config);
+  ~System();
+  System(const System&) = delete;
+  System& operator=(const System&) = delete;
+
+  const SimConfig& config() const { return config_; }
+  SharedSpace& space() { return *space_; }
+  Engine& engine() { return *engine_; }
+
+  // Enables structured protocol tracing (see src/trace). Must be called
+  // before Run. Returns the log for inspection/dumping after the run.
+  TraceLog* EnableTracing(size_t capacity = 1 << 20);
+  TraceLog* trace() { return trace_.get(); }
+
+  // Runs `program` on every node to completion. Aborts with a diagnostic if
+  // the programs deadlock (event queue drained with unfinished programs).
+  void Run(const Program& program);
+
+  const RunReport& report() const { return report_; }
+
+  // Direct access to one node's copy of the space (post-run verification).
+  std::byte* NodeMemory(NodeId node, GlobalAddr addr);
+
+ private:
+  friend class NodeContext;
+
+  struct Node {
+    std::unique_ptr<Processor> cpu;
+    std::unique_ptr<Processor> cop;
+    std::unique_ptr<PageTable> pages;
+    std::unique_ptr<ProtocolNode> proto;
+    std::unique_ptr<NodeContext> ctx;
+    bool done = false;
+    SimTime finish_time = 0;
+  };
+
+  NodeReport SnapshotNode(NodeId n) const;
+
+  SimConfig config_;
+  std::unique_ptr<TraceLog> trace_;
+  std::unique_ptr<Engine> engine_;
+  std::unique_ptr<Network> network_;
+  std::unique_ptr<SharedSpace> space_;
+  std::vector<Node> nodes_;
+  RunReport report_;
+  bool ran_ = false;
+};
+
+}  // namespace hlrc
+
+#endif  // SRC_SVM_SYSTEM_H_

@@ -1,0 +1,109 @@
+#include "src/trace/trace.h"
+
+#include <algorithm>
+
+#include "src/common/check.h"
+
+namespace hlrc {
+
+const char* TraceEventName(TraceEvent e) {
+  switch (e) {
+    case TraceEvent::kFault:
+      return "fault";
+    case TraceEvent::kPageFetch:
+      return "page-fetch";
+    case TraceEvent::kPageServe:
+      return "page-serve";
+    case TraceEvent::kDiffCreate:
+      return "diff-create";
+    case TraceEvent::kDiffApply:
+      return "diff-apply";
+    case TraceEvent::kDiffFlush:
+      return "diff-flush";
+    case TraceEvent::kLockRequest:
+      return "lock-request";
+    case TraceEvent::kLockGrant:
+      return "lock-grant";
+    case TraceEvent::kLockAcquired:
+      return "lock-acquired";
+    case TraceEvent::kBarrierEnter:
+      return "barrier-enter";
+    case TraceEvent::kBarrierExit:
+      return "barrier-exit";
+    case TraceEvent::kIntervalClose:
+      return "interval-close";
+    case TraceEvent::kGcStart:
+      return "gc-start";
+    case TraceEvent::kGcEnd:
+      return "gc-end";
+    case TraceEvent::kCount:
+      break;
+  }
+  return "?";
+}
+
+TraceLog::TraceLog(size_t capacity) : capacity_(capacity) {
+  HLRC_CHECK(capacity > 0);
+  ring_.reserve(std::min<size_t>(capacity, 4096));
+}
+
+void TraceLog::Record(NodeId node, SimTime time, TraceEvent event, int64_t arg0,
+                      int64_t arg1) {
+  ++recorded_;
+  ++counts_[static_cast<size_t>(event)];
+  const TraceRecord rec{time, node, event, arg0, arg1};
+  if (ring_.size() < capacity_) {
+    ring_.push_back(rec);
+    return;
+  }
+  // Overwrite the oldest.
+  wrapped_ = true;
+  ++dropped_;
+  ring_[next_] = rec;
+  next_ = (next_ + 1) % capacity_;
+}
+
+std::vector<TraceRecord> TraceLog::Snapshot() const {
+  std::vector<TraceRecord> out;
+  out.reserve(ring_.size());
+  if (wrapped_) {
+    out.insert(out.end(), ring_.begin() + static_cast<int64_t>(next_), ring_.end());
+    out.insert(out.end(), ring_.begin(), ring_.begin() + static_cast<int64_t>(next_));
+  } else {
+    out = ring_;
+  }
+  return out;
+}
+
+void TraceLog::DumpText(std::FILE* out) const {
+  for (const TraceRecord& r : Snapshot()) {
+    std::fprintf(out, "%12.3fus node %3d %-14s %lld %lld\n", ToMicros(r.time), r.node,
+                 TraceEventName(r.event), static_cast<long long>(r.arg0),
+                 static_cast<long long>(r.arg1));
+  }
+  if (dropped_ > 0) {
+    std::fprintf(out, "(%lld older records dropped)\n", static_cast<long long>(dropped_));
+  }
+}
+
+void TraceLog::DumpChromeJson(const std::string& path) const {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  HLRC_CHECK_MSG(f != nullptr, "cannot open trace file %s", path.c_str());
+  std::fprintf(f, "[\n");
+  bool first = true;
+  for (const TraceRecord& r : Snapshot()) {
+    if (!first) {
+      std::fprintf(f, ",\n");
+    }
+    first = false;
+    std::fprintf(f,
+                 "{\"name\":\"%s\",\"ph\":\"i\",\"ts\":%.3f,\"pid\":0,\"tid\":%d,"
+                 "\"s\":\"t\",\"args\":{\"a0\":%lld,\"a1\":%lld}}",
+                 TraceEventName(r.event), ToMicros(r.time), r.node,
+                 static_cast<long long>(r.arg0), static_cast<long long>(r.arg1));
+  }
+  std::fprintf(f, "\n]\n");
+  std::fclose(f);
+}
+
+}  // namespace hlrc

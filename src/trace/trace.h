@@ -1,0 +1,84 @@
+// Structured protocol event tracing.
+//
+// When enabled, every node records fixed-size protocol events (faults,
+// fetches, diff operations, lock and barrier activity, GC) into a per-node
+// ring buffer. Traces dump as readable text or as a Chrome trace-event JSON
+// file loadable in chrome://tracing / Perfetto, with one row per simulated
+// node. Recording is a single branch + array store, cheap enough to leave
+// compiled in; a null TraceLog pointer disables it entirely.
+#ifndef SRC_TRACE_TRACE_H_
+#define SRC_TRACE_TRACE_H_
+
+#include <cstdint>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "src/common/types.h"
+
+namespace hlrc {
+
+enum class TraceEvent : uint8_t {
+  kFault = 0,          // arg0 = page, arg1 = write flag.
+  kPageFetch = 1,      // arg0 = page, arg1 = target node.
+  kPageServe = 2,      // arg0 = page, arg1 = requester.
+  kDiffCreate = 3,     // arg0 = page, arg1 = diff bytes.
+  kDiffApply = 4,      // arg0 = page, arg1 = diff bytes.
+  kDiffFlush = 5,      // arg0 = page, arg1 = home node.
+  kLockRequest = 6,    // arg0 = lock id.
+  kLockGrant = 7,      // arg0 = lock id, arg1 = requester.
+  kLockAcquired = 8,   // arg0 = lock id.
+  kBarrierEnter = 9,   // arg0 = barrier id.
+  kBarrierExit = 10,   // arg0 = barrier id.
+  kIntervalClose = 11, // arg0 = interval id, arg1 = dirty pages.
+  kGcStart = 12,
+  kGcEnd = 13,
+  kCount = 14,
+};
+
+const char* TraceEventName(TraceEvent e);
+
+struct TraceRecord {
+  SimTime time;
+  NodeId node;
+  TraceEvent event;
+  int64_t arg0;
+  int64_t arg1;
+};
+
+class TraceLog {
+ public:
+  // `capacity` bounds the total number of retained records; older records
+  // are dropped (ring buffer) so long runs cannot exhaust memory.
+  explicit TraceLog(size_t capacity = 1 << 20);
+
+  void Record(NodeId node, SimTime time, TraceEvent event, int64_t arg0 = 0,
+              int64_t arg1 = 0);
+
+  // Records in time order (reconstructed from the ring).
+  std::vector<TraceRecord> Snapshot() const;
+
+  int64_t recorded() const { return recorded_; }
+  int64_t dropped() const { return dropped_; }
+  int64_t CountOf(TraceEvent e) const { return counts_[static_cast<size_t>(e)]; }
+
+  // Human-readable dump.
+  void DumpText(std::FILE* out) const;
+
+  // Chrome trace-event format (chrome://tracing, Perfetto). One instant
+  // event per record; pid 0, tid = node.
+  void DumpChromeJson(const std::string& path) const;
+
+ private:
+  size_t capacity_;
+  std::vector<TraceRecord> ring_;
+  size_t next_ = 0;
+  bool wrapped_ = false;
+  int64_t recorded_ = 0;
+  int64_t dropped_ = 0;
+  int64_t counts_[static_cast<size_t>(TraceEvent::kCount)] = {};
+};
+
+}  // namespace hlrc
+
+#endif  // SRC_TRACE_TRACE_H_

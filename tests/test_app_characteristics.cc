@@ -1,0 +1,131 @@
+// Each application must exhibit the sharing pattern the paper attributes to
+// it (§4.1) — these tests pin the workload characteristics the protocol
+// comparison depends on.
+#include <gtest/gtest.h>
+
+#include "src/apps/app.h"
+#include "src/apps/water_spatial.h"
+#include "tests/test_util.h"
+
+namespace hlrc {
+namespace {
+
+AppRunResult RunCase(const std::string& name, ProtocolKind kind, int nodes) {
+  auto app = MakeApp(name, AppScale::kTiny);
+  SimConfig cfg = testing::SmallConfig(kind, nodes, 16ll << 20, 1024);
+  AppRunResult r = RunApp(*app, cfg);
+  EXPECT_TRUE(r.verified) << name << ": " << r.why;
+  return r;
+}
+
+TEST(AppCharacteristics, LuAndSorAreLockFree) {
+  // "The only synchronization primitives ... are LOCK, UNLOCK and BARRIER";
+  // LU and SOR use barriers exclusively (coarse-grained single-writer).
+  for (const std::string& name : {std::string("lu"), std::string("sor")}) {
+    const AppRunResult r = RunCase(name, ProtocolKind::kHlrc, 8);
+    EXPECT_EQ(r.report.Totals().proto.lock_acquires, 0) << name;
+    EXPECT_GT(r.report.Totals().proto.barriers, 0) << name;
+  }
+}
+
+TEST(AppCharacteristics, WaterNsqUsesPerPartitionLocks) {
+  const AppRunResult r = RunCase("water-nsq", ProtocolKind::kHlrc, 8);
+  // Every node locks its own partition and its neighbours' (paper: updates
+  // its own n/p molecules and the following n/2).
+  EXPECT_GT(r.report.Totals().proto.lock_acquires, 8);
+  for (const NodeReport& n : r.report.nodes) {
+    EXPECT_GT(n.proto.lock_acquires, 0);
+  }
+}
+
+TEST(AppCharacteristics, WaterSpatialMigratesMolecules) {
+  // Molecules drift between cells: the cell directory sees lock-protected
+  // insertions (paper: "molecules migrate slowly"). The tiny preset is too
+  // short for any crossing, so run with a larger timestep and more steps.
+  WaterSpConfig cfg;
+  cfg.molecules = 128;
+  cfg.cells = 4;
+  cfg.box = 8.0;
+  cfg.steps = 10;
+  cfg.dt = 0.5;
+  WaterSpApp app(cfg);
+  SimConfig sim = testing::SmallConfig(ProtocolKind::kHlrc, 8, 16ll << 20, 1024);
+  const AppRunResult r = RunApp(app, sim);
+  ASSERT_TRUE(r.verified) << r.why;
+  EXPECT_GT(r.report.Totals().proto.lock_acquires, 0);
+}
+
+TEST(AppCharacteristics, RaytraceStealsWork) {
+  // Task stealing: every node must end up having rendered something, i.e.
+  // all nodes show application compute time and queue lock activity.
+  const AppRunResult r = RunCase("raytrace", ProtocolKind::kHlrc, 8);
+  for (const NodeReport& n : r.report.nodes) {
+    EXPECT_GT(n.Computation(), 0);
+    EXPECT_GT(n.proto.lock_acquires, 0);  // Queue pops are lock protected.
+  }
+}
+
+TEST(AppCharacteristics, RaytraceFalselySharesImagePages) {
+  // Neighboring tiles land on shared pages: under LRC, image pages must see
+  // diffs from multiple writers (concurrent, false sharing).
+  const AppRunResult r = RunCase("raytrace", ProtocolKind::kLrc, 8);
+  EXPECT_GT(r.report.Totals().proto.diffs_created, 0);
+}
+
+TEST(AppCharacteristics, WaterNsqIsMigratory) {
+  // The same force pages pass through many hands: the homeless protocol
+  // applies far more diffs than it creates (re-fetch per reader), one of the
+  // paper's Table 4 signatures.
+  const AppRunResult r = RunCase("water-nsq", ProtocolKind::kLrc, 8);
+  EXPECT_GT(r.report.Totals().proto.diffs_applied,
+            r.report.Totals().proto.diffs_created);
+}
+
+TEST(AppCharacteristics, WaterNsqSnapshotsPhasesForFigure4) {
+  auto app = MakeApp("water-nsq", AppScale::kTiny);
+  SimConfig cfg = testing::SmallConfig(ProtocolKind::kHlrc, 4, 16ll << 20, 1024);
+  const AppRunResult r = RunApp(*app, cfg);
+  ASSERT_TRUE(r.verified) << r.why;
+  // Tiny scale = 2 steps => snapshots at phases 0..4 for each node.
+  EXPECT_EQ(r.report.phases.size(), 5u * 4u);
+  // Deltas between consecutive snapshots are monotone in time.
+  for (NodeId n = 0; n < 4; ++n) {
+    SimTime prev = -1;
+    for (int phase = 0; phase <= 4; ++phase) {
+      const auto it = r.report.phases.find({phase, n});
+      ASSERT_NE(it, r.report.phases.end());
+      EXPECT_GE(it->second.finish_time, prev);
+      prev = it->second.finish_time;
+    }
+  }
+}
+
+TEST(AppCharacteristics, SequentialRunsHaveNoCommunication) {
+  for (const std::string& name : AllAppNames()) {
+    auto app = MakeApp(name, AppScale::kTiny);
+    SimConfig cfg = testing::SmallConfig(ProtocolKind::kHlrc, 1, 16ll << 20, 1024);
+    const AppRunResult r = RunApp(*app, cfg);
+    ASSERT_TRUE(r.verified) << name << ": " << r.why;
+    EXPECT_EQ(r.report.Totals().traffic.msgs_sent, 0) << name;
+    EXPECT_EQ(r.report.Totals().proto.page_fetches, 0) << name;
+  }
+}
+
+TEST(AppCharacteristics, ScalesProduceIncreasingWork) {
+  // kTiny < kDefault sequential compute for every app.
+  for (const std::string& name : AllAppNames()) {
+    SimTime t[2];
+    const AppScale scales[2] = {AppScale::kTiny, AppScale::kDefault};
+    for (int k = 0; k < 2; ++k) {
+      auto app = MakeApp(name, scales[k]);
+      SimConfig cfg = testing::SmallConfig(ProtocolKind::kHlrc, 1, 256ll << 20, 4096);
+      const AppRunResult r = RunApp(*app, cfg);
+      ASSERT_TRUE(r.verified) << name << ": " << r.why;
+      t[k] = r.report.nodes[0].Computation();
+    }
+    EXPECT_LT(t[0], t[1]) << name;
+  }
+}
+
+}  // namespace
+}  // namespace hlrc

@@ -1,0 +1,104 @@
+// Additional application-level behaviour: odd node counts, 64-node runs (the
+// regime that exposed the invalidation races), the §4.8 zero-interior diff
+// suppression, and registry sanity.
+#include <gtest/gtest.h>
+
+#include "src/apps/app.h"
+#include "src/apps/sor.h"
+#include "tests/test_util.h"
+
+namespace hlrc {
+namespace {
+
+SimConfig AppConfig(ProtocolKind kind, int nodes) {
+  SimConfig cfg;
+  cfg.nodes = nodes;
+  cfg.page_size = 1024;
+  cfg.shared_bytes = 16ll << 20;
+  cfg.protocol.kind = kind;
+  return cfg;
+}
+
+TEST(AppsExtra, OddNodeCountsVerify) {
+  // Partitionings must handle node counts that divide nothing evenly.
+  for (const std::string& name : {std::string("lu"), std::string("sor"),
+                                  std::string("water-sp"), std::string("raytrace")}) {
+    for (int nodes : {3, 5, 7}) {
+      auto app = MakeApp(name, AppScale::kTiny);
+      const AppRunResult r = RunApp(*app, AppConfig(ProtocolKind::kHlrc, nodes));
+      EXPECT_TRUE(r.verified) << name << " nodes=" << nodes << ": " << r.why;
+    }
+  }
+}
+
+TEST(AppsExtra, SixtyFourNodesAllProtocols) {
+  // The full paper scale: heavily loaded barrier manager, long lock chains.
+  for (ProtocolKind kind : testing::AllProtocols()) {
+    for (const std::string& name : {std::string("water-nsq"), std::string("sor")}) {
+      auto app = MakeApp(name, AppScale::kTiny);
+      const AppRunResult r = RunApp(*app, AppConfig(kind, 64));
+      EXPECT_TRUE(r.verified) << name << " " << ProtocolName(kind) << ": " << r.why;
+    }
+  }
+}
+
+TEST(AppsExtra, ZeroInteriorSorSuppressesDiffs) {
+  SorConfig base;
+  base.rows = 64;
+  base.cols = 64;
+  base.iterations = 3;
+
+  int64_t diffs[2] = {0, 0};
+  for (int z = 0; z < 2; ++z) {
+    SorConfig cfg = base;
+    cfg.zero_interior = (z == 1);
+    SorApp app(cfg);
+    const AppRunResult r = RunApp(app, AppConfig(ProtocolKind::kLrc, 4));
+    ASSERT_TRUE(r.verified) << r.why;
+    diffs[z] = r.report.Totals().proto.diffs_created;
+  }
+  // Writes that do not change the page produce no diffs (paper §4.8).
+  EXPECT_GT(diffs[0], 0);
+  EXPECT_LT(diffs[1], diffs[0] / 2);
+}
+
+TEST(AppsExtra, RegistryKnowsAllFiveApps) {
+  EXPECT_EQ(AppNames().size(), 5u);
+  for (const std::string& name : AppNames()) {
+    auto app = MakeApp(name, AppScale::kTiny);
+    ASSERT_NE(app, nullptr);
+    EXPECT_FALSE(app->name().empty());
+  }
+}
+
+TEST(AppsExtra, ProtocolsAgreeBitwiseOnDeterministicApps) {
+  // LU, SOR and Raytrace are schedule-independent: every protocol must
+  // produce the exact same bytes at the owners.
+  for (const std::string& name :
+       {std::string("lu"), std::string("sor"), std::string("raytrace")}) {
+    for (ProtocolKind kind : testing::AllProtocols()) {
+      auto app = MakeApp(name, AppScale::kTiny);
+      const AppRunResult r = RunApp(*app, AppConfig(kind, 8));
+      EXPECT_TRUE(r.verified) << name << " " << ProtocolName(kind) << ": " << r.why;
+    }
+  }
+}
+
+TEST(AppsExtra, DeterministicTotalTimeAcrossRuns) {
+  // The whole simulation is deterministic: identical config => identical
+  // virtual end time and traffic.
+  SimTime t[2];
+  int64_t msgs[2];
+  for (int i = 0; i < 2; ++i) {
+    auto app = MakeApp("water-sp", AppScale::kTiny);
+    const AppRunResult r = RunApp(*app, AppConfig(ProtocolKind::kOhlrc, 8));
+    ASSERT_TRUE(r.verified) << r.why;
+    t[i] = r.report.total_time;
+    msgs[i] = r.report.Totals().traffic.msgs_sent;
+  }
+  EXPECT_EQ(t[0], t[1]);
+  EXPECT_EQ(msgs[0], msgs[1]);
+}
+
+}  // namespace
+}  // namespace hlrc

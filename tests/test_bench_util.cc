@@ -1,0 +1,87 @@
+#include "bench/bench_util.h"
+
+#include <gtest/gtest.h>
+
+namespace hlrc {
+namespace bench {
+namespace {
+
+BenchOptions Parse(std::vector<std::string> args) {
+  std::vector<char*> argv;
+  static std::string prog = "bench";
+  argv.push_back(prog.data());
+  for (std::string& a : args) {
+    argv.push_back(a.data());
+  }
+  return ParseArgs(static_cast<int>(argv.size()), argv.data());
+}
+
+TEST(BenchUtil, Defaults) {
+  std::vector<std::string> none;
+  const BenchOptions opts = Parse(none);
+  EXPECT_EQ(opts.node_counts, (std::vector<int>{8, 32, 64}));
+  EXPECT_EQ(opts.scale, AppScale::kDefault);
+  EXPECT_EQ(opts.apps.size(), 5u);
+  EXPECT_EQ(opts.protocols.size(), 4u);
+  EXPECT_EQ(opts.page_size, 4096);
+  EXPECT_TRUE(opts.verify);
+}
+
+TEST(BenchUtil, ParsesNodesList) {
+  std::vector<std::string> args = {"--nodes=4,16"};
+  const BenchOptions opts = Parse(std::move(args));
+  EXPECT_EQ(opts.node_counts, (std::vector<int>{4, 16}));
+}
+
+TEST(BenchUtil, ParsesScaleAndApps) {
+  std::vector<std::string> args = {"--scale=tiny", "--apps=lu,raytrace"};
+  const BenchOptions opts = Parse(std::move(args));
+  EXPECT_EQ(opts.scale, AppScale::kTiny);
+  EXPECT_EQ(opts.apps, (std::vector<std::string>{"lu", "raytrace"}));
+}
+
+TEST(BenchUtil, ParsesProtocolsAndHome) {
+  std::vector<std::string> args = {"--protocols=lrc,ohlrc", "--home=round-robin",
+                                   "--page-size=8192", "--no-verify"};
+  const BenchOptions opts = Parse(std::move(args));
+  ASSERT_EQ(opts.protocols.size(), 2u);
+  EXPECT_EQ(opts.protocols[0], ProtocolKind::kLrc);
+  EXPECT_EQ(opts.protocols[1], ProtocolKind::kOhlrc);
+  EXPECT_EQ(opts.home_policy, HomePolicy::kRoundRobin);
+  EXPECT_EQ(opts.page_size, 8192);
+  EXPECT_FALSE(opts.verify);
+}
+
+TEST(BenchUtil, BaseConfigReflectsOptions) {
+  std::vector<std::string> args = {"--page-size=1024", "--home=single-node"};
+  const BenchOptions opts = Parse(std::move(args));
+  const SimConfig cfg = BaseConfig(opts, ProtocolKind::kOlrc, 16);
+  EXPECT_EQ(cfg.nodes, 16);
+  EXPECT_EQ(cfg.page_size, 1024);
+  EXPECT_EQ(cfg.protocol.kind, ProtocolKind::kOlrc);
+  EXPECT_EQ(cfg.protocol.home_policy, HomePolicy::kSingleNode);
+}
+
+TEST(BenchUtil, SequentialTimeIsPureCompute) {
+  std::vector<std::string> args = {"--scale=tiny"};
+  const BenchOptions opts = Parse(std::move(args));
+  const SimTime t = SequentialTime("sor", opts);
+  EXPECT_GT(t, 0);
+  // Sequential compute is protocol independent.
+  BenchOptions opts2 = opts;
+  opts2.protocols = {ProtocolKind::kLrc};
+  EXPECT_EQ(SequentialTime("sor", opts2), t);
+}
+
+TEST(BenchUtil, RunVerifiedReturnsReport) {
+  std::vector<std::string> args = {"--scale=tiny"};
+  const BenchOptions opts = Parse(std::move(args));
+  const AppRunResult r = RunVerified("lu", opts, BaseConfig(opts, ProtocolKind::kHlrc, 4));
+  EXPECT_TRUE(r.verified);
+  EXPECT_GT(r.report.total_time, 0);
+  EXPECT_EQ(r.report.nodes.size(), 4u);
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace hlrc

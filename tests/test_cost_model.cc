@@ -1,0 +1,81 @@
+// The calibrated cost model must reproduce the paper's §4.3 derived numbers
+// (DESIGN.md §6): these tests pin the calibration so a parameter change that
+// breaks the Table 3 reconstruction fails loudly.
+#include <gtest/gtest.h>
+
+#include "src/net/network.h"
+#include "src/proto/cost_model.h"
+
+namespace hlrc {
+namespace {
+
+constexpr int64_t kPage = 8192;  // Paragon OS page.
+
+TEST(CostModel, PageTransferMatchesTable3) {
+  const NetworkConfig net;
+  // ~353 us for an 8 KB page.
+  EXPECT_NEAR(ToMicros(kPage * net.per_byte), 353.0, 4.0);
+}
+
+TEST(CostModel, NonOverlappedPageMissIs1172us) {
+  const CostModel c;
+  const NetworkConfig net;
+  const double us = ToMicros(c.page_fault + net.base_latency + c.receive_interrupt +
+                             kPage * net.per_byte + net.base_latency);
+  EXPECT_NEAR(us, 1172.0, 5.0);
+}
+
+TEST(CostModel, OverlappedPageMissIs482us) {
+  const CostModel c;
+  const NetworkConfig net;
+  const double us =
+      ToMicros(c.page_fault + net.base_latency + kPage * net.per_byte + net.base_latency);
+  EXPECT_NEAR(us, 482.0, 5.0);
+}
+
+TEST(CostModel, RemoteAcquireIs1530us) {
+  const CostModel c;
+  const NetworkConfig net;
+  // Request -> manager (interrupt) -> forward -> holder (interrupt) -> grant.
+  const double us = ToMicros(3 * net.base_latency + 2 * c.receive_interrupt);
+  EXPECT_NEAR(us, 1530.0, 30.0);  // Paper: ~1550.
+}
+
+TEST(CostModel, DiffCreationRangeMatchesTable3) {
+  const CostModel c;
+  // 120 us floor (scan) to ~310 us fully dirty for an 8 KB page.
+  EXPECT_NEAR(ToMicros(c.DiffCreateCost(kPage, 0)), 120.0, 5.0);
+  EXPECT_NEAR(ToMicros(c.DiffCreateCost(kPage, kPage)), 310.0, 10.0);
+}
+
+TEST(CostModel, DiffApplicationUpTo430us) {
+  const CostModel c;
+  EXPECT_NEAR(ToMicros(c.DiffApplyCost(kPage)), 430.0, 10.0);
+  EXPECT_LT(ToMicros(c.DiffApplyCost(0)), 5.0);
+}
+
+TEST(CostModel, TwinCopyIs120us) {
+  const CostModel c;
+  EXPECT_NEAR(ToMicros(c.TwinCost(kPage)), 120.0, 5.0);
+}
+
+TEST(CostModel, SmallConstantsAsPrinted) {
+  const CostModel c;
+  EXPECT_EQ(c.page_fault, Micros(29));
+  EXPECT_EQ(c.page_invalidate, Micros(2));
+  EXPECT_EQ(c.page_protect, Micros(5));
+}
+
+TEST(CostModel, CostsScaleWithPageSize) {
+  const CostModel c;
+  EXPECT_EQ(c.TwinCost(4096) * 2, c.TwinCost(8192));
+  EXPECT_LT(c.DiffCreateCost(4096, 100), c.DiffCreateCost(8192, 100));
+}
+
+TEST(CostModel, FlopCalibration) {
+  const CostModel c;
+  EXPECT_EQ(c.FlopCost(10), 10 * c.ns_per_flop);
+}
+
+}  // namespace
+}  // namespace hlrc

@@ -1,0 +1,170 @@
+// Behaviour of the protocol extensions: ERC (eager update broadcast) and
+// AURC (simulated automatic-update hardware), plus the lazy diff policy.
+#include <gtest/gtest.h>
+
+#include <cstring>
+
+#include "src/apps/app.h"
+#include "src/svm/system.h"
+#include "tests/test_util.h"
+
+namespace hlrc {
+namespace {
+
+using testing::SmallConfig;
+
+void RunProducerConsumers(System& sys, GlobalAddr addr, int64_t bytes, int rounds) {
+  sys.Run([&, rounds](NodeContext& ctx) -> Task<void> {
+    for (int r = 0; r < rounds; ++r) {
+      if (ctx.id() == 0) {
+        co_await ctx.Write(addr, bytes);
+        std::memset(ctx.Ptr<char>(addr), r + 1, static_cast<size_t>(bytes));
+      }
+      co_await ctx.Barrier(0);
+      co_await ctx.Read(addr, bytes);
+      co_await ctx.Barrier(1);
+    }
+  });
+}
+
+TEST(Erc, ReadersNeverFault) {
+  SimConfig cfg = SmallConfig(ProtocolKind::kErc, 4);
+  System sys(cfg);
+  const GlobalAddr addr = sys.space().AllocPageAligned(8 * 1024);
+  RunProducerConsumers(sys, addr, 8 * 1024, 3);
+  const NodeReport totals = sys.report().Totals();
+  // Pages are always valid under an update protocol: no misses, no fetches.
+  EXPECT_EQ(totals.proto.read_misses, 0);
+  EXPECT_EQ(totals.proto.page_fetches, 0);
+  EXPECT_EQ(totals.proto.write_notices_received, 0);
+}
+
+TEST(Erc, BroadcastsOneUpdatePerReceiverPerDiff) {
+  constexpr int kNodes = 6;
+  SimConfig cfg = SmallConfig(ProtocolKind::kErc, kNodes);
+  System sys(cfg);
+  const GlobalAddr addr = sys.space().AllocPageAligned(1024);
+  RunProducerConsumers(sys, addr, 1024, 2);
+  const NodeReport totals = sys.report().Totals();
+  // Every created diff is applied nodes-1 times (one per receiver).
+  EXPECT_EQ(totals.proto.diffs_applied, totals.proto.diffs_created * (kNodes - 1));
+}
+
+TEST(Erc, GrantWaitsForOutstandingFlushes) {
+  // Regression for the flush-barrier race: the lock chain must always expose
+  // the previous holder's writes even when the grant is produced by an
+  // idle-holder forward while an earlier interval's flush is in flight.
+  SimConfig cfg = SmallConfig(ProtocolKind::kErc, 4);
+  cfg.costs.receive_interrupt = Millis(1);  // Stretch service windows.
+  System sys(cfg);
+  const GlobalAddr addr = sys.space().AllocPageAligned(1024);
+  sys.Run([&](NodeContext& ctx) -> Task<void> {
+    for (int r = 0; r < 5; ++r) {
+      co_await ctx.Lock(2);
+      co_await ctx.Write(addr, 8);
+      *ctx.Ptr<int64_t>(addr) += 1;
+      co_await ctx.Unlock(2);
+      // Touch an unrelated page so the next acquire closes a fresh interval.
+      co_await ctx.Write(addr + 512, 8);
+      *ctx.Ptr<int64_t>(addr + 512) = ctx.id();
+      co_await ctx.Compute(Micros(100));
+    }
+    co_await ctx.Barrier(0);
+  });
+  for (int n = 0; n < 4; ++n) {
+    EXPECT_EQ(*reinterpret_cast<int64_t*>(sys.NodeMemory(n, addr)), 20) << "node " << n;
+  }
+}
+
+TEST(Aurc, NoDiffOperationsAndNoTwinCost) {
+  SimConfig cfg = SmallConfig(ProtocolKind::kAurc, 4);
+  cfg.protocol.home_policy = HomePolicy::kSingleNode;  // Writers are not homes.
+  System sys(cfg);
+  const GlobalAddr addr = sys.space().AllocPageAligned(8 * 1024);
+  sys.Run([&](NodeContext& ctx) -> Task<void> {
+    for (int r = 0; r < 3; ++r) {
+      if (ctx.id() == 1) {
+        co_await ctx.Write(addr, 4096);
+        std::memset(ctx.Ptr<char>(addr), r + 1, 4096);
+      }
+      co_await ctx.Barrier(0);
+      co_await ctx.Read(addr, 4096);
+      co_await ctx.Barrier(1);
+    }
+  });
+  const NodeReport totals = sys.report().Totals();
+  EXPECT_EQ(totals.proto.diffs_created, 0);  // Paper §2.2: AURC uses no diffs.
+  EXPECT_EQ(totals.cpu_busy.Get(BusyCat::kTwin), 0);        // Hardware capture.
+  EXPECT_EQ(totals.cpu_busy.Get(BusyCat::kDiffCreate), 0);  // Zero software cost.
+  EXPECT_GT(totals.proto.page_fetches, 0);  // Misses still fetch whole pages.
+}
+
+TEST(Aurc, WriteThroughTrafficExceedsHlrc) {
+  int64_t update_bytes[2] = {0, 0};
+  SimTime total[2] = {0, 0};
+  const ProtocolKind kinds[2] = {ProtocolKind::kHlrc, ProtocolKind::kAurc};
+  for (int k = 0; k < 2; ++k) {
+    SimConfig cfg = SmallConfig(kinds[k], 4);
+    cfg.protocol.home_policy = HomePolicy::kSingleNode;
+    System sys(cfg);
+    const GlobalAddr addr = sys.space().AllocPageAligned(8 * 1024);
+    sys.Run([&](NodeContext& ctx) -> Task<void> {
+      for (int r = 0; r < 3; ++r) {
+        if (ctx.id() == 1) {
+          co_await ctx.Write(addr, 4096);
+          std::memset(ctx.Ptr<char>(addr), r + 1, 4096);
+        }
+        co_await ctx.Barrier(0);
+        co_await ctx.Read(addr, 4096);
+        co_await ctx.Barrier(1);
+      }
+    });
+    update_bytes[k] = sys.report().Totals().traffic.update_bytes_sent;
+    total[k] = sys.report().total_time;
+  }
+  // The paper's §2.3 tradeoff: AURC trades bandwidth (write-through
+  // amplification) for zero software update-detection overhead.
+  EXPECT_GT(update_bytes[1], update_bytes[0]);
+  EXPECT_LT(total[1], total[0]);
+}
+
+TEST(LazyDiffs, SameResultsFewerCreationsCharged) {
+  // SOR-like: many diffs created eagerly are never fetched (only boundary
+  // pages are read). Lazy diffing defers — and mostly avoids — that work.
+  SimTime create_time[2] = {0, 0};
+  const DiffPolicy policies[2] = {DiffPolicy::kEager, DiffPolicy::kLazy};
+  for (int k = 0; k < 2; ++k) {
+    auto app = MakeApp("sor", AppScale::kTiny);
+    SimConfig cfg = SmallConfig(ProtocolKind::kLrc, 8, 16ll << 20, 1024);
+    cfg.protocol.diff_policy = policies[k];
+    const AppRunResult r = RunApp(*app, cfg);
+    ASSERT_TRUE(r.verified) << DiffPolicyName(policies[k]) << ": " << r.why;
+    create_time[k] = r.report.Totals().cpu_busy.Get(BusyCat::kDiffCreate);
+  }
+  EXPECT_LT(create_time[1], create_time[0] / 2);
+}
+
+TEST(LazyDiffs, MigratoryWorkloadsVerifyUnderLazyPolicy) {
+  for (const std::string& name : {std::string("water-nsq"), std::string("lu")}) {
+    auto app = MakeApp(name, AppScale::kTiny);
+    SimConfig cfg = SmallConfig(ProtocolKind::kLrc, 8, 16ll << 20, 1024);
+    cfg.protocol.diff_policy = DiffPolicy::kLazy;
+    cfg.protocol.gc_threshold_bytes = 32 << 10;  // Exercise GC with lazy diffs.
+    const AppRunResult r = RunApp(*app, cfg);
+    EXPECT_TRUE(r.verified) << name << ": " << r.why;
+  }
+}
+
+TEST(Extensions, AppsVerifyUnderErcAndAurc) {
+  for (ProtocolKind kind : {ProtocolKind::kErc, ProtocolKind::kAurc}) {
+    for (const std::string& name : AppNames()) {
+      auto app = MakeApp(name, AppScale::kTiny);
+      SimConfig cfg = SmallConfig(kind, 8, 16ll << 20, 1024);
+      const AppRunResult r = RunApp(*app, cfg);
+      EXPECT_TRUE(r.verified) << name << " " << ProtocolName(kind) << ": " << r.why;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace hlrc

@@ -1,0 +1,155 @@
+// HLRC-specific mechanism tests: pending page requests at the home, the
+// required/applied flush-timestamp handshake, and OHLRC's asynchronous diff
+// pipeline.
+#include <gtest/gtest.h>
+
+#include <cstring>
+
+#include "src/svm/system.h"
+#include "tests/test_util.h"
+
+namespace hlrc {
+namespace {
+
+using testing::SmallConfig;
+
+TEST(HlrcMechanism, FetchWaitsForInFlightDiff) {
+  // Writer releases a lock; the reader's page request can reach the home
+  // before the writer's diff does (the OHLRC case in paper §2.4.2). The home
+  // must park the request and still deliver the updated page.
+  for (ProtocolKind kind : {ProtocolKind::kHlrc, ProtocolKind::kOhlrc}) {
+    SimConfig cfg = SmallConfig(kind, 4);
+    cfg.protocol.home_policy = HomePolicy::kSingleNode;  // Home = node 0.
+    // Slow the diff path so the fetch overtakes the flush.
+    cfg.costs.diff_apply_per_byte = Nanos(500);
+    System sys(cfg);
+    const GlobalAddr addr = sys.space().AllocPageAligned(1024);
+
+    int64_t seen = -1;
+    sys.Run([&](NodeContext& ctx) -> Task<void> {
+      if (ctx.id() == 1) {
+        co_await ctx.Lock(1);
+        co_await ctx.Write(addr, 512);
+        std::memset(ctx.Ptr<char>(addr), 0x5a, 512);
+        co_await ctx.Unlock(1);
+      } else if (ctx.id() == 2) {
+        // Chase the lock immediately; the grant races the diff flush.
+        co_await ctx.Compute(Micros(10));
+        co_await ctx.Lock(1);
+        co_await ctx.Read(addr, 512);
+        seen = static_cast<int64_t>(static_cast<unsigned char>(*ctx.Ptr<char>(addr)));
+        co_await ctx.Unlock(1);
+      }
+      co_await ctx.Barrier(0);
+    });
+    EXPECT_EQ(seen, 0x5a) << ProtocolName(kind);
+  }
+}
+
+TEST(HlrcMechanism, HomeLocalAccessWaitsForRemoteDiff) {
+  // The home itself acquires a lock whose protected data was just written by
+  // a remote node: its own read must wait for the diff to land locally.
+  SimConfig cfg = SmallConfig(ProtocolKind::kHlrc, 3);
+  cfg.protocol.home_policy = HomePolicy::kSingleNode;  // Node 0 homes all.
+  cfg.costs.diff_apply_per_byte = Nanos(500);          // Slow diffs.
+  System sys(cfg);
+  const GlobalAddr addr = sys.space().AllocPageAligned(1024);
+
+  int64_t home_saw = -1;
+  sys.Run([&](NodeContext& ctx) -> Task<void> {
+    if (ctx.id() == 1) {
+      co_await ctx.Lock(1);
+      co_await ctx.Write(addr, 8);
+      *ctx.Ptr<int64_t>(addr) = 987;
+      co_await ctx.Unlock(1);
+    } else if (ctx.id() == 0) {
+      co_await ctx.Compute(Micros(10));
+      co_await ctx.Lock(1);
+      co_await ctx.Read(addr, 8);
+      home_saw = *ctx.Ptr<int64_t>(addr);
+      co_await ctx.Unlock(1);
+    }
+    co_await ctx.Barrier(0);
+  });
+  EXPECT_EQ(home_saw, 987);
+}
+
+TEST(HlrcMechanism, HomeReadsNeverFetch) {
+  // The home never sends page requests for its own pages (paper §2.3).
+  SimConfig cfg = SmallConfig(ProtocolKind::kHlrc, 2);
+  cfg.protocol.home_policy = HomePolicy::kSingleNode;
+  System sys(cfg);
+  const GlobalAddr addr = sys.space().AllocPageAligned(4096);
+  sys.Run([&](NodeContext& ctx) -> Task<void> {
+    for (int r = 0; r < 3; ++r) {
+      if (ctx.id() == 0) {  // The home itself produces the data.
+        co_await ctx.Write(addr, 4096);
+        std::memset(ctx.Ptr<char>(addr), r + 1, 4096);
+      }
+      co_await ctx.Barrier(0);
+      co_await ctx.Read(addr, 4096);
+      co_await ctx.Barrier(1);
+    }
+  });
+  EXPECT_EQ(sys.report().nodes[0].proto.page_fetches, 0);  // Home: no fetches.
+  EXPECT_GT(sys.report().nodes[1].proto.page_fetches, 0);  // Reader re-fetches.
+}
+
+TEST(OlrcMechanism, DiffRequestWaitsForCoprocessorCreation) {
+  // Under OLRC a diff request can arrive while the co-processor is still
+  // computing the diff; the request queues until it is ready (paper §2.4.1).
+  SimConfig cfg = SmallConfig(ProtocolKind::kOlrc, 3);
+  cfg.costs.diff_scan_per_byte = Micros(2);  // Very slow diffing.
+  System sys(cfg);
+  const GlobalAddr addr = sys.space().AllocPageAligned(1024);
+
+  int64_t seen = -1;
+  sys.Run([&](NodeContext& ctx) -> Task<void> {
+    if (ctx.id() == 1) {
+      co_await ctx.Lock(1);
+      co_await ctx.Write(addr, 8);
+      *ctx.Ptr<int64_t>(addr) = 31337;
+      co_await ctx.Unlock(1);
+    } else if (ctx.id() == 2) {
+      co_await ctx.Compute(Micros(5));
+      co_await ctx.Lock(1);
+      co_await ctx.Read(addr, 8);
+      seen = *ctx.Ptr<int64_t>(addr);
+      co_await ctx.Unlock(1);
+    }
+    co_await ctx.Barrier(0);
+  });
+  EXPECT_EQ(seen, 31337);
+}
+
+TEST(HlrcMechanism, WriteNoticesAreCheapOnTheWire) {
+  // Same workload: the homeless protocol ships full vector timestamps in
+  // write notices, the home-based one does not (paper §4.6/4.7) — HLRC's
+  // protocol byte count must be smaller per notice at scale.
+  int64_t proto_bytes[2] = {0, 0};
+  int64_t notices[2] = {0, 0};
+  const ProtocolKind kinds[2] = {ProtocolKind::kLrc, ProtocolKind::kHlrc};
+  for (int k = 0; k < 2; ++k) {
+    SimConfig cfg = SmallConfig(kinds[k], 16);
+    System sys(cfg);
+    const GlobalAddr addr = sys.space().AllocPageAligned(32 * 1024);
+    sys.Run([&](NodeContext& ctx) -> Task<void> {
+      for (int r = 0; r < 3; ++r) {
+        const GlobalAddr mine = addr + static_cast<GlobalAddr>(ctx.id()) * 2048;
+        co_await ctx.Write(mine, 2048);
+        std::memset(ctx.Ptr<char>(mine), r + 1, 2048);
+        co_await ctx.Barrier(0);
+      }
+    });
+    const NodeReport t = sys.report().Totals();
+    proto_bytes[k] = t.traffic.protocol_bytes_sent;
+    notices[k] = t.proto.write_notices_received;
+  }
+  ASSERT_GT(notices[0], 0);
+  ASSERT_GT(notices[1], 0);
+  EXPECT_GT(static_cast<double>(proto_bytes[0]) / static_cast<double>(notices[0]),
+            static_cast<double>(proto_bytes[1]) / static_cast<double>(notices[1]));
+}
+
+}  // namespace
+}  // namespace hlrc

@@ -1,0 +1,244 @@
+// Home migration (extension): a page with a stable remote writer gets its
+// home transferred to that writer, converting flush traffic into the home
+// effect. Correctness must hold through transfers, forwarding, and
+// path-shortened fetches.
+#include <gtest/gtest.h>
+
+#include <cstring>
+
+#include "src/apps/app.h"
+#include "src/common/rng.h"
+#include "src/svm/system.h"
+#include "tests/test_util.h"
+
+namespace hlrc {
+namespace {
+
+using testing::SmallConfig;
+
+int64_t Transfers(const System& sys) {
+  int64_t n = 0;
+  for (const NodeReport& r : sys.report().nodes) {
+    n += r.traffic.msgs_by_type[static_cast<int>(MsgType::kHomeTransfer)];
+  }
+  return n;
+}
+
+SimConfig MigrConfig(int nodes, bool migrate) {
+  SimConfig cfg = SmallConfig(ProtocolKind::kHlrc, nodes);
+  cfg.protocol.home_policy = HomePolicy::kSingleNode;  // Writers never match.
+  cfg.protocol.migrate_homes = migrate;
+  cfg.protocol.migrate_threshold = 3;
+  return cfg;
+}
+
+void RunSteadyWriter(System& sys, GlobalAddr addr, int rounds) {
+  sys.Run([&, rounds](NodeContext& ctx) -> Task<void> {
+    for (int r = 0; r < rounds; ++r) {
+      if (ctx.id() == 1) {  // Stable writer, never the static home (node 0).
+        co_await ctx.Write(addr, 2048);
+        int64_t* data = ctx.Ptr<int64_t>(addr);
+        for (int i = 0; i < 256; ++i) {
+          data[i] = r * 1000 + i;
+        }
+      }
+      co_await ctx.Barrier(0);
+      co_await ctx.Read(addr, 2048);
+      const int64_t* data = ctx.Ptr<int64_t>(addr);
+      for (int i = 0; i < 256; i += 37) {
+        EXPECT_EQ(data[i], r * 1000 + i) << "node " << ctx.id() << " round " << r;
+      }
+      co_await ctx.Barrier(1);
+    }
+  });
+}
+
+TEST(HomeMigration, TransfersHomeToStableWriterAndStopsDiffing) {
+  int64_t diffs[2] = {0, 0};
+  for (int m = 0; m < 2; ++m) {
+    SimConfig cfg = MigrConfig(4, m == 1);
+    System sys(cfg);
+    const GlobalAddr addr = sys.space().AllocPageAligned(2048);
+    RunSteadyWriter(sys, addr, 10);
+    diffs[m] = sys.report().Totals().proto.diffs_created;
+    if (m == 1) {
+      EXPECT_GE(Transfers(sys), 1);
+    } else {
+      EXPECT_EQ(Transfers(sys), 0);
+    }
+  }
+  // Once migrated, the writer is home: diff creation stops after ~threshold
+  // rounds instead of once per round.
+  EXPECT_LT(diffs[1], diffs[0] / 2);
+}
+
+TEST(HomeMigration, MigrationImprovesSteadyProducerTime) {
+  SimTime total[2] = {0, 0};
+  for (int m = 0; m < 2; ++m) {
+    SimConfig cfg = MigrConfig(8, m == 1);
+    System sys(cfg);
+    const GlobalAddr addr = sys.space().AllocPageAligned(8 * 1024);
+    RunSteadyWriter(sys, addr, 12);
+    total[m] = sys.report().total_time;
+  }
+  EXPECT_LT(total[1], total[0]);
+}
+
+TEST(HomeMigration, AlternatingWritersDoNotThrash) {
+  // Two writers alternating below the threshold: no transfer should happen,
+  // and the data must stay exact.
+  SimConfig cfg = MigrConfig(4, true);
+  System sys(cfg);
+  const GlobalAddr addr = sys.space().AllocPageAligned(1024);
+  sys.Run([&](NodeContext& ctx) -> Task<void> {
+    for (int r = 0; r < 12; ++r) {
+      if (ctx.id() == 1 + r % 2) {
+        co_await ctx.Write(addr, 8);
+        *ctx.Ptr<int64_t>(addr) = r;
+      }
+      co_await ctx.Barrier(0);
+      co_await ctx.Read(addr, 8);
+      EXPECT_EQ(*ctx.Ptr<int64_t>(addr), r) << "node " << ctx.id();
+      co_await ctx.Barrier(1);
+    }
+  });
+  EXPECT_EQ(Transfers(sys), 0);
+}
+
+TEST(HomeMigration, SuccessiveMigrationsFollowTheWriter) {
+  // Writer 1 for a while, then writer 2: the home should migrate twice and
+  // everything stays correct (forwarding chains, path shortening).
+  SimConfig cfg = MigrConfig(4, true);
+  System sys(cfg);
+  const GlobalAddr addr = sys.space().AllocPageAligned(1024);
+  sys.Run([&](NodeContext& ctx) -> Task<void> {
+    for (int r = 0; r < 16; ++r) {
+      const NodeId writer = r < 8 ? 1 : 2;
+      if (ctx.id() == writer) {
+        co_await ctx.Write(addr, 512);
+        int64_t* data = ctx.Ptr<int64_t>(addr);
+        for (int i = 0; i < 64; ++i) {
+          data[i] = r * 100 + i;
+        }
+      }
+      co_await ctx.Barrier(0);
+      co_await ctx.Read(addr, 512);
+      const int64_t* data = ctx.Ptr<int64_t>(addr);
+      for (int i = 0; i < 64; i += 13) {
+        EXPECT_EQ(data[i], r * 100 + i) << "node " << ctx.id() << " round " << r;
+      }
+      co_await ctx.Barrier(1);
+    }
+  });
+  EXPECT_GE(Transfers(sys), 2);
+}
+
+TEST(HomeMigration, AppsVerifyWithMigrationAndAdverseHomes) {
+  // Worst-case static placement + migration: results must stay exact and
+  // migration should recover some of the home effect.
+  for (const std::string& name : {std::string("sor"), std::string("water-nsq")}) {
+    auto app = MakeApp(name, AppScale::kTiny);
+    SimConfig cfg = MigrConfig(8, true);
+    cfg.shared_bytes = 16ll << 20;
+    const AppRunResult r = RunApp(*app, cfg);
+    EXPECT_TRUE(r.verified) << name << ": " << r.why;
+  }
+}
+
+TEST(HomeMigration, FuzzWithMigrationEnabled) {
+  // The integer consistency fuzz pattern under adverse homes + migration.
+  for (uint64_t seed = 1; seed <= 6; ++seed) {
+    Rng rng(seed * 31);
+    const int nodes = static_cast<int>(rng.NextInt(2, 8));
+    SimConfig cfg = MigrConfig(nodes, true);
+    System sys(cfg);
+    const int slots = 256;
+    const GlobalAddr arr = sys.space().AllocPageAligned(slots * 8);
+    std::vector<int64_t> model(slots, 0);
+    std::vector<std::vector<std::pair<int, int64_t>>> plan(static_cast<size_t>(nodes));
+    for (int n = 0; n < nodes; ++n) {
+      Rng prng(seed * 977 + static_cast<uint64_t>(n));
+      for (int o = 0; o < 8; ++o) {
+        const int slot = static_cast<int>(prng.NextBounded(slots));
+        const int64_t delta = prng.NextInt(1, 99);
+        plan[static_cast<size_t>(n)].emplace_back(slot, delta);
+        model[static_cast<size_t>(slot)] += delta;
+      }
+    }
+    sys.Run([&](NodeContext& ctx) -> Task<void> {
+      for (const auto& [slot, delta] : plan[static_cast<size_t>(ctx.id())]) {
+        co_await ctx.Lock(1);
+        co_await ctx.Write(arr, slots * 8);
+        ctx.Ptr<int64_t>(arr)[slot] += delta;
+        co_await ctx.Unlock(1);
+        co_await ctx.Compute(Micros(40));
+      }
+      co_await ctx.Barrier(0);
+      co_await ctx.Read(arr, slots * 8);
+    });
+    for (int n = 0; n < nodes; ++n) {
+      const int64_t* data = reinterpret_cast<const int64_t*>(sys.NodeMemory(n, arr));
+      for (int sidx = 0; sidx < slots; ++sidx) {
+        ASSERT_EQ(data[sidx], model[static_cast<size_t>(sidx)])
+            << "seed " << seed << " node " << n << " slot " << sidx;
+      }
+    }
+  }
+}
+
+
+TEST(HomeMigration, SorAtScaleWithAdverseHomes) {
+  // Regression for two migration hazards found at 32 nodes: transferring a
+  // page whose (old) home holds it dirty in its open interval, and migrating
+  // while a local fault waits on in-flight diffs.
+  auto app = MakeApp("sor", AppScale::kTiny);
+  SimConfig cfg = MigrConfig(32, true);
+  cfg.shared_bytes = 16ll << 20;
+  const AppRunResult r = RunApp(*app, cfg);
+  EXPECT_TRUE(r.verified) << r.why;
+}
+
+TEST(HomeMigration, MixedWritersOnOnePageStayExact) {
+  // Two writers false-sharing one page under migration pressure: streaks
+  // reset on writer changes, transfers may or may not fire depending on
+  // interleaving, and the data must stay exact either way (double-install
+  // or stale-forwarded-reply bugs would corrupt it).
+  SimConfig cfg = MigrConfig(6, true);
+  cfg.protocol.migrate_threshold = 2;
+  System sys(cfg);
+  const GlobalAddr addr = sys.space().AllocPageAligned(1024);
+  sys.Run([&](NodeContext& ctx) -> Task<void> {
+    for (int r = 0; r < 10; ++r) {
+      // Node 1 writes half the page steadily (earning the migration), while
+      // node 2 writes the other half (false sharing keeps fetches flying).
+      if (ctx.id() == 1) {
+        co_await ctx.Lock(1);
+        co_await ctx.Write(addr, 256);
+        for (int i = 0; i < 32; ++i) {
+          ctx.Ptr<int64_t>(addr)[i] = r * 100 + i;
+        }
+        co_await ctx.Unlock(1);
+      } else if (ctx.id() == 2) {
+        co_await ctx.Lock(2);
+        co_await ctx.Write(addr + 512, 256);
+        for (int i = 0; i < 32; ++i) {
+          ctx.Ptr<int64_t>(addr + 512)[i] = r * 1000 + i;
+        }
+        co_await ctx.Unlock(2);
+      }
+      co_await ctx.Barrier(0);
+      co_await ctx.Read(addr, 1024);
+      const int64_t* lo = ctx.Ptr<int64_t>(addr);
+      const int64_t* hi = ctx.Ptr<int64_t>(addr + 512);
+      for (int i = 0; i < 32; i += 7) {
+        EXPECT_EQ(lo[i], r * 100 + i) << "node " << ctx.id() << " round " << r;
+        EXPECT_EQ(hi[i], r * 1000 + i) << "node " << ctx.id() << " round " << r;
+      }
+      co_await ctx.Barrier(1);
+    }
+  });
+  EXPECT_GE(Transfers(sys), 0);  // Data exactness above is the real check.
+}
+
+}  // namespace
+}  // namespace hlrc

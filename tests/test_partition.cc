@@ -1,0 +1,88 @@
+#include "src/svm/partition.h"
+
+#include <gtest/gtest.h>
+
+namespace hlrc {
+namespace {
+
+TEST(Partition, EvenSplit) {
+  const Band b = BandOf(100, 4, 1);
+  EXPECT_EQ(b.first, 25);
+  EXPECT_EQ(b.last, 49);
+  EXPECT_EQ(b.size(), 25);
+}
+
+TEST(Partition, UnevenSplitFrontLoadsExtras) {
+  // 10 items over 4 parts: sizes 3,3,2,2.
+  EXPECT_EQ(BandOf(10, 4, 0).size(), 3);
+  EXPECT_EQ(BandOf(10, 4, 1).size(), 3);
+  EXPECT_EQ(BandOf(10, 4, 2).size(), 2);
+  EXPECT_EQ(BandOf(10, 4, 3).size(), 2);
+}
+
+TEST(Partition, BandsTileTheRangeExactly) {
+  for (int items : {1, 7, 64, 1000}) {
+    for (int parts : {1, 3, 8, 64}) {
+      int next = 0;
+      for (int p = 0; p < parts; ++p) {
+        const Band b = BandOf(items, parts, p);
+        if (b.empty()) {
+          continue;
+        }
+        EXPECT_EQ(b.first, next) << items << "/" << parts << " part " << p;
+        next = b.last + 1;
+      }
+      EXPECT_EQ(next, items) << items << "/" << parts;
+    }
+  }
+}
+
+TEST(Partition, MoreNodesThanItemsYieldsEmptyBands) {
+  int non_empty = 0;
+  for (int p = 0; p < 8; ++p) {
+    if (!BandOf(3, 8, p).empty()) {
+      ++non_empty;
+    }
+  }
+  EXPECT_EQ(non_empty, 3);
+}
+
+TEST(Partition, BandOwnerInvertsBandOf) {
+  for (int items : {5, 17, 64, 129}) {
+    for (int parts : {1, 2, 7, 16}) {
+      for (int i = 0; i < items; ++i) {
+        const int owner = BandOwner(items, parts, i);
+        EXPECT_TRUE(BandOf(items, parts, owner).Contains(i))
+            << items << "/" << parts << " item " << i;
+      }
+    }
+  }
+}
+
+TEST(Partition, ContiguousOwnerIsMonotoneAndBalanced) {
+  constexpr int kTotal = 256;
+  constexpr int kNodes = 12;
+  int counts[kNodes] = {};
+  NodeId prev = 0;
+  for (int i = 0; i < kTotal; ++i) {
+    const NodeId owner = ContiguousOwner(i, kTotal, kNodes);
+    EXPECT_GE(owner, prev);
+    EXPECT_LT(owner, kNodes);
+    ++counts[owner];
+    prev = owner;
+  }
+  for (int n = 0; n < kNodes; ++n) {
+    EXPECT_NEAR(counts[n], kTotal / kNodes, 1.0);
+  }
+}
+
+TEST(Partition, ContainsBoundaries) {
+  const Band b = BandOf(64, 8, 3);
+  EXPECT_TRUE(b.Contains(b.first));
+  EXPECT_TRUE(b.Contains(b.last));
+  EXPECT_FALSE(b.Contains(b.first - 1));
+  EXPECT_FALSE(b.Contains(b.last + 1));
+}
+
+}  // namespace
+}  // namespace hlrc

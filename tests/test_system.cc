@@ -1,0 +1,142 @@
+// System-level API behaviour: reports, phase snapshots, allocation, compute
+// charging, and misuse detection.
+#include <gtest/gtest.h>
+
+#include "src/svm/system.h"
+#include "tests/test_util.h"
+
+namespace hlrc {
+namespace {
+
+using testing::SmallConfig;
+
+TEST(SystemApi, ComputeAdvancesVirtualTime) {
+  System sys(SmallConfig(ProtocolKind::kHlrc, 2));
+  sys.space().AllocPageAligned(1024);
+  sys.Run([&](NodeContext& ctx) -> Task<void> {
+    co_await ctx.Compute(Millis(5));
+    co_await ctx.Barrier(0);
+  });
+  EXPECT_GE(sys.report().total_time, Millis(5));
+  EXPECT_EQ(sys.report().nodes[0].Computation(), Millis(5));
+}
+
+TEST(SystemApi, ComputeFlopsUsesCalibration) {
+  SimConfig cfg = SmallConfig(ProtocolKind::kHlrc, 1);
+  cfg.costs.ns_per_flop = Nanos(100);
+  System sys(cfg);
+  sys.space().AllocPageAligned(1024);
+  sys.Run([&](NodeContext& ctx) -> Task<void> {
+    co_await ctx.ComputeFlops(1000);
+  });
+  EXPECT_EQ(sys.report().nodes[0].Computation(), Micros(100));
+}
+
+TEST(SystemApi, PhaseSnapshotsCaptureDeltas) {
+  System sys(SmallConfig(ProtocolKind::kHlrc, 2));
+  sys.space().AllocPageAligned(1024);
+  sys.Run([&](NodeContext& ctx) -> Task<void> {
+    ctx.SnapshotPhase(0);
+    co_await ctx.Compute(Millis(1));
+    co_await ctx.Barrier(0);
+    ctx.SnapshotPhase(1);
+    co_await ctx.Compute(Millis(2));
+    co_await ctx.Barrier(1);
+    ctx.SnapshotPhase(2);
+  });
+  const auto& phases = sys.report().phases;
+  ASSERT_EQ(phases.size(), 6u);
+  const NodeReport& p1 = phases.at({1, 0});
+  const NodeReport& p2 = phases.at({2, 0});
+  EXPECT_EQ(p2.cpu_busy.Get(BusyCat::kCompute) - p1.cpu_busy.Get(BusyCat::kCompute),
+            Millis(2));
+  EXPECT_GT(p2.finish_time, p1.finish_time);
+}
+
+TEST(SystemApi, NodeMemoryIsPerNode) {
+  System sys(SmallConfig(ProtocolKind::kLrc, 2));
+  const GlobalAddr addr = sys.space().AllocPageAligned(64);
+  sys.Run([&](NodeContext& ctx) -> Task<void> {
+    if (ctx.id() == 0) {
+      co_await ctx.Write(addr, 8);
+      *ctx.Ptr<int64_t>(addr) = 5;
+    }
+    co_return;  // No barrier: node 1 never learns of the write.
+  });
+  EXPECT_EQ(*reinterpret_cast<int64_t*>(sys.NodeMemory(0, addr)), 5);
+  EXPECT_EQ(*reinterpret_cast<int64_t*>(sys.NodeMemory(1, addr)), 0);
+}
+
+TEST(SystemApi, NeedsAccessReflectsProtectionState) {
+  System sys(SmallConfig(ProtocolKind::kHlrc, 2));
+  const GlobalAddr addr = sys.space().AllocPageAligned(4096);
+  bool before_write = false;
+  bool after_write = true;
+  sys.Run([&](NodeContext& ctx) -> Task<void> {
+    if (ctx.id() == 0) {
+      before_write = ctx.NeedsAccess(addr, 8, true);
+      co_await ctx.Write(addr, 8);
+      after_write = ctx.NeedsAccess(addr, 8, true);
+      *ctx.Ptr<int64_t>(addr) = 1;
+    }
+    co_await ctx.Barrier(0);
+  });
+  EXPECT_TRUE(before_write);   // Initially read-only: write would fault.
+  EXPECT_FALSE(after_write);   // Granted.
+}
+
+TEST(SystemApi, ReadsAreFreeWhenPagesValid) {
+  System sys(SmallConfig(ProtocolKind::kHlrc, 2));
+  const GlobalAddr addr = sys.space().AllocPageAligned(4096);
+  sys.Run([&](NodeContext& ctx) -> Task<void> {
+    // All pages start valid (zero-filled everywhere): reads never fault.
+    co_await ctx.Read(addr, 4096);
+    co_await ctx.Barrier(0);
+  });
+  EXPECT_EQ(sys.report().Totals().proto.read_misses, 0);
+  EXPECT_EQ(sys.report().Totals().traffic.msgs_sent,
+            sys.report().Totals().traffic.msgs_received);
+}
+
+TEST(SystemApiDeathTest, RecursiveAcquireAborts) {
+  ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+  EXPECT_DEATH(
+      {
+        System sys(SmallConfig(ProtocolKind::kHlrc, 2));
+        sys.space().AllocPageAligned(64);
+        sys.Run([&](NodeContext& ctx) -> Task<void> {
+          co_await ctx.Lock(1);
+          co_await ctx.Lock(1);  // Recursive: aborts.
+        });
+      },
+      "recursive acquire");
+}
+
+TEST(SystemApiDeathTest, UnlockWithoutLockAborts) {
+  ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+  EXPECT_DEATH(
+      {
+        System sys(SmallConfig(ProtocolKind::kHlrc, 2));
+        sys.space().AllocPageAligned(64);
+        sys.Run([&](NodeContext& ctx) -> Task<void> { co_await ctx.Unlock(3); });
+      },
+      "release of lock");
+}
+
+TEST(SystemApiDeathTest, MismatchedBarrierDeadlockDetected) {
+  ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+  EXPECT_DEATH(
+      {
+        System sys(SmallConfig(ProtocolKind::kHlrc, 2));
+        sys.space().AllocPageAligned(64);
+        sys.Run([&](NodeContext& ctx) -> Task<void> {
+          if (ctx.id() == 0) {
+            co_await ctx.Barrier(0);  // Node 1 never arrives.
+          }
+        });
+      },
+      "deadlock");
+}
+
+}  // namespace
+}  // namespace hlrc

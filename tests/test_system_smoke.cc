@@ -1,0 +1,196 @@
+// End-to-end smoke tests: small programs running on the full stack under all
+// four protocols.
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <vector>
+
+#include "src/svm/system.h"
+#include "tests/test_util.h"
+
+namespace hlrc {
+namespace {
+
+using testing::AllProtocols;
+using testing::SmallConfig;
+
+class SmokeTest : public ::testing::TestWithParam<ProtocolKind> {};
+
+// Node 0 writes a value, everyone barriers, all nodes read it.
+TEST_P(SmokeTest, SingleWriterBroadcastThroughBarrier) {
+  SimConfig cfg = SmallConfig(GetParam(), 4);
+  System sys(cfg);
+  const GlobalAddr addr = sys.space().AllocPageAligned(sizeof(int64_t));
+
+  std::vector<int64_t> seen(4, -1);
+  sys.Run([&](NodeContext& ctx) -> Task<void> {
+    if (ctx.id() == 0) {
+      co_await ctx.Write(addr, sizeof(int64_t));
+      *ctx.Ptr<int64_t>(addr) = 424242;
+    }
+    co_await ctx.Barrier(0);
+    co_await ctx.Read(addr, sizeof(int64_t));
+    seen[static_cast<size_t>(ctx.id())] = *ctx.Ptr<int64_t>(addr);
+  });
+
+  for (int n = 0; n < 4; ++n) {
+    EXPECT_EQ(seen[static_cast<size_t>(n)], 424242) << "node " << n;
+  }
+  EXPECT_GT(sys.report().total_time, 0);
+}
+
+// A lock-protected counter incremented by every node several times.
+TEST_P(SmokeTest, LockProtectedCounter) {
+  constexpr int kNodes = 6;
+  constexpr int kRounds = 5;
+  SimConfig cfg = SmallConfig(GetParam(), kNodes);
+  System sys(cfg);
+  const GlobalAddr addr = sys.space().AllocPageAligned(sizeof(int64_t));
+
+  sys.Run([&](NodeContext& ctx) -> Task<void> {
+    for (int r = 0; r < kRounds; ++r) {
+      co_await ctx.Lock(7);
+      co_await ctx.Write(addr, sizeof(int64_t));
+      *ctx.Ptr<int64_t>(addr) += 1;
+      co_await ctx.Unlock(7);
+    }
+    co_await ctx.Barrier(0);
+    co_await ctx.Read(addr, sizeof(int64_t));
+  });
+
+  // Every node's final view must be the full count.
+  for (int n = 0; n < kNodes; ++n) {
+    EXPECT_EQ(*reinterpret_cast<int64_t*>(sys.NodeMemory(n, addr)), kNodes * kRounds)
+        << "node " << n;
+  }
+}
+
+// Migratory pattern: the value hops node to node through a lock.
+TEST_P(SmokeTest, MigratoryChain) {
+  constexpr int kNodes = 5;
+  SimConfig cfg = SmallConfig(GetParam(), kNodes);
+  System sys(cfg);
+  const GlobalAddr addr = sys.space().AllocPageAligned(sizeof(int64_t) * 2);
+
+  sys.Run([&](NodeContext& ctx) -> Task<void> {
+    // Token-passing: node i waits until the counter reaches i (mod kNodes),
+    // using a lock to poll. Each node appends its id by multiplying.
+    for (int round = 0; round < 3; ++round) {
+      bool done = false;
+      while (!done) {
+        co_await ctx.Lock(1);
+        co_await ctx.Write(addr, sizeof(int64_t) * 2);
+        int64_t* turn = ctx.Ptr<int64_t>(addr);
+        int64_t* acc = ctx.Ptr<int64_t>(addr + sizeof(int64_t));
+        if (*turn % kNodes == ctx.id()) {
+          *acc += ctx.id() + 1;
+          *turn += 1;
+          done = true;
+        }
+        co_await ctx.Unlock(1);
+        if (!done) {
+          co_await ctx.Compute(Micros(50));
+        }
+      }
+    }
+    co_await ctx.Barrier(9);
+    co_await ctx.Read(addr, sizeof(int64_t) * 2);
+  });
+
+  const int64_t expect = 3 * (1 + 2 + 3 + 4 + 5);
+  for (int n = 0; n < kNodes; ++n) {
+    EXPECT_EQ(reinterpret_cast<int64_t*>(sys.NodeMemory(n, addr))[1], expect) << "node " << n;
+  }
+}
+
+// False sharing: every node writes its own slot of one page each phase;
+// everyone reads all slots after the barrier.
+TEST_P(SmokeTest, MultipleWritersOnePage) {
+  constexpr int kNodes = 8;
+  SimConfig cfg = SmallConfig(GetParam(), kNodes);
+  System sys(cfg);
+  const GlobalAddr addr = sys.space().AllocPageAligned(kNodes * sizeof(int64_t));
+
+  std::vector<int> bad(kNodes, 0);
+  sys.Run([&](NodeContext& ctx) -> Task<void> {
+    const GlobalAddr mine = addr + static_cast<GlobalAddr>(ctx.id()) * sizeof(int64_t);
+    for (int phase = 1; phase <= 4; ++phase) {
+      co_await ctx.Write(mine, sizeof(int64_t));
+      *ctx.Ptr<int64_t>(mine) = phase * 100 + ctx.id();
+      co_await ctx.Barrier(0);
+      co_await ctx.Read(addr, kNodes * sizeof(int64_t));
+      for (int w = 0; w < kNodes; ++w) {
+        const int64_t v = ctx.Ptr<int64_t>(addr)[w];
+        if (v != phase * 100 + w) {
+          ++bad[static_cast<size_t>(ctx.id())];
+        }
+      }
+      co_await ctx.Barrier(1);
+    }
+  });
+
+  for (int n = 0; n < kNodes; ++n) {
+    EXPECT_EQ(bad[static_cast<size_t>(n)], 0) << "node " << n;
+  }
+}
+
+// Neighbor exchange across multi-page arrays (SOR-like).
+TEST_P(SmokeTest, NeighborExchange) {
+  constexpr int kNodes = 4;
+  constexpr int kPerNode = 512;  // 4 KB of doubles per node, multiple pages.
+  SimConfig cfg = SmallConfig(GetParam(), kNodes, 1 << 20, 1024);
+  System sys(cfg);
+  const int64_t bytes = kNodes * kPerNode * static_cast<int64_t>(sizeof(double));
+  const GlobalAddr addr = sys.space().AllocPageAligned(bytes);
+
+  std::vector<int> bad(kNodes, 0);
+  sys.Run([&](NodeContext& ctx) -> Task<void> {
+    const int me = ctx.id();
+    const GlobalAddr mine = addr + static_cast<GlobalAddr>(me) * kPerNode * sizeof(double);
+    for (int iter = 1; iter <= 3; ++iter) {
+      co_await ctx.Write(mine, kPerNode * sizeof(double));
+      double* d = ctx.Ptr<double>(mine);
+      for (int i = 0; i < kPerNode; ++i) {
+        d[i] = me * 1000.0 + iter + i * 0.5;
+      }
+      co_await ctx.Barrier(0);
+      // Read the right neighbor's band and check it.
+      const int nb = (me + 1) % kNodes;
+      const GlobalAddr theirs = addr + static_cast<GlobalAddr>(nb) * kPerNode * sizeof(double);
+      co_await ctx.Read(theirs, kPerNode * sizeof(double));
+      const double* t = ctx.Ptr<double>(theirs);
+      for (int i = 0; i < kPerNode; ++i) {
+        if (t[i] != nb * 1000.0 + iter + i * 0.5) {
+          ++bad[static_cast<size_t>(me)];
+        }
+      }
+      co_await ctx.Barrier(1);
+    }
+  });
+
+  for (int n = 0; n < kNodes; ++n) {
+    EXPECT_EQ(bad[static_cast<size_t>(n)], 0) << "node " << n;
+  }
+}
+
+// One node (sequential) still works and takes nonzero virtual time.
+TEST_P(SmokeTest, SingleNodeRun) {
+  SimConfig cfg = SmallConfig(GetParam(), 1);
+  System sys(cfg);
+  const GlobalAddr addr = sys.space().AllocPageAligned(4096);
+  sys.Run([&](NodeContext& ctx) -> Task<void> {
+    co_await ctx.Write(addr, 4096);
+    std::memset(ctx.Ptr<char>(addr), 7, 4096);
+    co_await ctx.Compute(Millis(1));
+    co_await ctx.Barrier(0);
+  });
+  EXPECT_GE(sys.report().total_time, Millis(1));
+}
+
+INSTANTIATE_TEST_SUITE_P(AllProtocols, SmokeTest, ::testing::ValuesIn(AllProtocols()),
+                         [](const ::testing::TestParamInfo<ProtocolKind>& info) {
+                           return ProtocolName(info.param);
+                         });
+
+}  // namespace
+}  // namespace hlrc

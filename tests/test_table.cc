@@ -1,0 +1,95 @@
+#include "src/common/table.h"
+
+#include <gtest/gtest.h>
+
+#include "src/common/rng.h"
+
+namespace hlrc {
+namespace {
+
+TEST(Table, RendersHeaderAndRows) {
+  Table t("Title");
+  t.SetHeader({"a", "b"});
+  t.AddRow({"x", "1"});
+  t.AddRow({"longer", "22"});
+  const std::string s = t.ToString();
+  EXPECT_NE(s.find("Title"), std::string::npos);
+  EXPECT_NE(s.find("| a      | b  |"), std::string::npos);
+  EXPECT_NE(s.find("| longer | 22 |"), std::string::npos);
+}
+
+TEST(Table, NumbersRightAlignedTextLeftAligned) {
+  Table t("");
+  t.SetHeader({"name", "val"});
+  t.AddRow({"ab", "7"});
+  t.AddRow({"c", "123"});
+  const std::string s = t.ToString();
+  EXPECT_NE(s.find("| ab   |   7 |"), std::string::npos);
+  EXPECT_NE(s.find("| c    | 123 |"), std::string::npos);
+}
+
+TEST(Table, SeparatorInsertsRule) {
+  Table t("");
+  t.SetHeader({"x"});
+  t.AddRow({"1"});
+  t.AddSeparator();
+  t.AddRow({"2"});
+  const std::string s = t.ToString();
+  // Rules: top, after header, before row 2, bottom.
+  size_t rules = 0;
+  for (size_t pos = s.find("+-"); pos != std::string::npos; pos = s.find("+-", pos + 1)) {
+    ++rules;
+  }
+  EXPECT_EQ(rules, 4u);
+}
+
+TEST(Table, ShortRowsPadWithEmptyCells) {
+  Table t("");
+  t.SetHeader({"a", "b", "c"});
+  t.AddRow({"only"});
+  EXPECT_NE(t.ToString().find("| only |"), std::string::npos);
+}
+
+TEST(Table, FmtHelpers) {
+  EXPECT_EQ(Table::Fmt(3.14159, 2), "3.14");
+  EXPECT_EQ(Table::Fmt(static_cast<int64_t>(42)), "42");
+  EXPECT_EQ(Table::FmtBytes(512), "512B");
+  EXPECT_EQ(Table::FmtBytes(64 << 10), "64.0KB");
+  EXPECT_EQ(Table::FmtBytes(50ll << 20), "50.0MB");
+}
+
+TEST(Rng, DeterministicForSameSeed) {
+  Rng a(7);
+  Rng b(7);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.NextU64(), b.NextU64());
+  }
+}
+
+TEST(Rng, BoundedAndRangeRespectLimits) {
+  Rng rng(3);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_LT(rng.NextBounded(17), 17u);
+    const int64_t v = rng.NextInt(-5, 5);
+    EXPECT_GE(v, -5);
+    EXPECT_LE(v, 5);
+    const double d = rng.NextDouble();
+    EXPECT_GE(d, 0.0);
+    EXPECT_LT(d, 1.0);
+  }
+}
+
+TEST(Rng, DifferentSeedsDiverge) {
+  Rng a(1);
+  Rng b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (a.NextU64() == b.NextU64()) {
+      ++same;
+    }
+  }
+  EXPECT_EQ(same, 0);
+}
+
+}  // namespace
+}  // namespace hlrc

@@ -1,0 +1,112 @@
+#include "src/sim/task.h"
+
+#include <gtest/gtest.h>
+
+#include "src/sim/completion.h"
+#include "src/sim/engine.h"
+
+namespace hlrc {
+namespace {
+
+Task<int> ReturnValue(int v) { co_return v; }
+
+Task<int> AddNested(int a, int b) {
+  const int x = co_await ReturnValue(a);
+  const int y = co_await ReturnValue(b);
+  co_return x + y;
+}
+
+TEST(Task, ReturnsValueThroughNestedAwaits) {
+  int result = 0;
+  SpawnDetached([](int* out) -> Task<void> { *out = co_await AddNested(2, 3); }(&result));
+  EXPECT_EQ(result, 5);
+}
+
+TEST(Task, SpawnDetachedRunsOnDone) {
+  bool done = false;
+  SpawnDetached([]() -> Task<void> { co_return; }(), [&] { done = true; });
+  EXPECT_TRUE(done);
+}
+
+TEST(Task, SleepSuspendsUntilEngineAdvances) {
+  Engine e;
+  SimTime woke_at = -1;
+  SpawnDetached([](Engine* eng, SimTime* t) -> Task<void> {
+    co_await SleepFor(eng, Micros(42));
+    *t = eng->Now();
+  }(&e, &woke_at));
+  EXPECT_EQ(woke_at, -1);  // Still suspended.
+  e.Run();
+  EXPECT_EQ(woke_at, Micros(42));
+}
+
+TEST(Completion, AwaitAfterCompleteDoesNotSuspend) {
+  Engine e;
+  Completion c(&e);
+  c.Complete();
+  bool resumed = false;
+  SpawnDetached([](Completion* comp, bool* r) -> Task<void> {
+    co_await *comp;
+    *r = true;
+  }(&c, &resumed));
+  EXPECT_TRUE(resumed);  // No engine events needed.
+}
+
+TEST(Completion, CompleteResumesWaiterThroughEngine) {
+  Engine e;
+  Completion c(&e);
+  bool resumed = false;
+  SpawnDetached([](Completion* comp, bool* r) -> Task<void> {
+    co_await *comp;
+    *r = true;
+  }(&c, &resumed));
+  EXPECT_FALSE(resumed);
+  c.Complete();
+  EXPECT_FALSE(resumed);  // Resumption goes through an engine event.
+  e.Run();
+  EXPECT_TRUE(resumed);
+}
+
+TEST(Completion, ResetAllowsReuse) {
+  Engine e;
+  Completion c(&e);
+  c.Complete();
+  EXPECT_TRUE(c.IsDone());
+  c.Reset();
+  EXPECT_FALSE(c.IsDone());
+  c.Complete();
+  EXPECT_TRUE(c.IsDone());
+}
+
+TEST(Task, ChainsOfSleepsAccumulateTime) {
+  Engine e;
+  SimTime end = -1;
+  SpawnDetached([](Engine* eng, SimTime* t) -> Task<void> {
+    for (int i = 0; i < 10; ++i) {
+      co_await SleepFor(eng, Micros(10));
+    }
+    *t = eng->Now();
+  }(&e, &end));
+  e.Run();
+  EXPECT_EQ(end, Micros(100));
+}
+
+TEST(Task, TwoCoroutinesInterleaveDeterministically) {
+  Engine e;
+  std::vector<int> order;
+  auto worker = [](Engine* eng, std::vector<int>* ord, int id, SimTime step) -> Task<void> {
+    for (int i = 0; i < 3; ++i) {
+      co_await SleepFor(eng, step);
+      ord->push_back(id);
+    }
+  };
+  SpawnDetached(worker(&e, &order, 1, Micros(10)));
+  SpawnDetached(worker(&e, &order, 2, Micros(15)));
+  e.Run();
+  // w1 wakes at 10,20,30; w2 at 15,30,45. At t=30, w2's event was scheduled
+  // earlier (at t=15) so it runs first.
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 1, 2, 1, 2}));
+}
+
+}  // namespace
+}  // namespace hlrc

@@ -1,0 +1,123 @@
+#include "src/trace/trace.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <cstring>
+#include <string>
+
+#include "src/svm/system.h"
+#include "tests/test_util.h"
+
+namespace hlrc {
+namespace {
+
+TEST(TraceLog, RecordsInOrder) {
+  TraceLog log(16);
+  log.Record(0, Micros(1), TraceEvent::kFault, 7, 1);
+  log.Record(1, Micros(2), TraceEvent::kLockRequest, 3);
+  auto snap = log.Snapshot();
+  ASSERT_EQ(snap.size(), 2u);
+  EXPECT_EQ(snap[0].event, TraceEvent::kFault);
+  EXPECT_EQ(snap[0].arg0, 7);
+  EXPECT_EQ(snap[1].node, 1);
+  EXPECT_EQ(log.recorded(), 2);
+  EXPECT_EQ(log.dropped(), 0);
+}
+
+TEST(TraceLog, RingDropsOldest) {
+  TraceLog log(4);
+  for (int i = 0; i < 10; ++i) {
+    log.Record(0, Micros(i), TraceEvent::kFault, i);
+  }
+  auto snap = log.Snapshot();
+  ASSERT_EQ(snap.size(), 4u);
+  EXPECT_EQ(snap.front().arg0, 6);  // Oldest surviving.
+  EXPECT_EQ(snap.back().arg0, 9);
+  EXPECT_EQ(log.dropped(), 6);
+  EXPECT_EQ(log.recorded(), 10);
+}
+
+TEST(TraceLog, CountsPerEvent) {
+  TraceLog log(64);
+  log.Record(0, 0, TraceEvent::kDiffCreate);
+  log.Record(0, 0, TraceEvent::kDiffCreate);
+  log.Record(0, 0, TraceEvent::kDiffApply);
+  EXPECT_EQ(log.CountOf(TraceEvent::kDiffCreate), 2);
+  EXPECT_EQ(log.CountOf(TraceEvent::kDiffApply), 1);
+  EXPECT_EQ(log.CountOf(TraceEvent::kGcStart), 0);
+}
+
+TEST(TraceLog, EventNamesAreUnique) {
+  for (int a = 0; a < static_cast<int>(TraceEvent::kCount); ++a) {
+    EXPECT_STRNE(TraceEventName(static_cast<TraceEvent>(a)), "?");
+    for (int b = a + 1; b < static_cast<int>(TraceEvent::kCount); ++b) {
+      EXPECT_STRNE(TraceEventName(static_cast<TraceEvent>(a)),
+                   TraceEventName(static_cast<TraceEvent>(b)));
+    }
+  }
+}
+
+TEST(TraceIntegration, EventsMatchProtocolCounters) {
+  SimConfig cfg = testing::SmallConfig(ProtocolKind::kHlrc, 4);
+  System sys(cfg);
+  TraceLog* trace = sys.EnableTracing();
+  const GlobalAddr addr = sys.space().AllocPageAligned(8 * 1024);
+  sys.Run([&](NodeContext& ctx) -> Task<void> {
+    for (int r = 0; r < 3; ++r) {
+      co_await ctx.Lock(1);
+      co_await ctx.Write(addr, 1024);
+      *ctx.Ptr<int64_t>(addr) += 1;
+      co_await ctx.Unlock(1);
+      co_await ctx.Barrier(0);
+    }
+  });
+
+  const NodeReport totals = sys.report().Totals();
+  EXPECT_EQ(trace->CountOf(TraceEvent::kPageFetch), totals.proto.page_fetches);
+  EXPECT_EQ(trace->CountOf(TraceEvent::kDiffCreate), totals.proto.diffs_created);
+  EXPECT_EQ(trace->CountOf(TraceEvent::kDiffApply), totals.proto.diffs_applied);
+  EXPECT_EQ(trace->CountOf(TraceEvent::kBarrierEnter), totals.proto.barriers);
+  EXPECT_EQ(trace->CountOf(TraceEvent::kBarrierExit), totals.proto.barriers);
+  EXPECT_EQ(trace->CountOf(TraceEvent::kLockRequest), totals.proto.remote_acquires);
+  // Times are monotone within the snapshot.
+  auto snap = trace->Snapshot();
+  for (size_t i = 1; i < snap.size(); ++i) {
+    EXPECT_LE(snap[i - 1].time, snap[i].time);
+  }
+}
+
+TEST(TraceIntegration, ChromeJsonDumpIsWellFormedEnough) {
+  SimConfig cfg = testing::SmallConfig(ProtocolKind::kLrc, 2);
+  System sys(cfg);
+  TraceLog* trace = sys.EnableTracing(256);
+  const GlobalAddr addr = sys.space().AllocPageAligned(1024);
+  sys.Run([&](NodeContext& ctx) -> Task<void> {
+    if (ctx.id() == 0) {
+      co_await ctx.Write(addr, 8);
+      *ctx.Ptr<int64_t>(addr) = 1;
+    }
+    co_await ctx.Barrier(0);
+    co_await ctx.Read(addr, 8);
+  });
+
+  const std::string path = ::testing::TempDir() + "/hlrc_trace.json";
+  trace->DumpChromeJson(path);
+  std::FILE* f = std::fopen(path.c_str(), "r");
+  ASSERT_NE(f, nullptr);
+  std::string content;
+  char buf[4096];
+  size_t n;
+  while ((n = std::fread(buf, 1, sizeof(buf), f)) > 0) {
+    content.append(buf, n);
+  }
+  std::fclose(f);
+  std::remove(path.c_str());
+  EXPECT_EQ(content.front(), '[');
+  EXPECT_NE(content.find("\"name\":\"barrier-enter\""), std::string::npos);
+  EXPECT_NE(content.find("\"tid\":1"), std::string::npos);
+  EXPECT_EQ(content[content.size() - 2], ']');
+}
+
+}  // namespace
+}  // namespace hlrc

@@ -1,0 +1,41 @@
+// Shared helpers for protocol/system tests.
+#ifndef TESTS_TEST_UTIL_H_
+#define TESTS_TEST_UTIL_H_
+
+#include <vector>
+
+#include "src/svm/system.h"
+
+namespace hlrc {
+namespace testing {
+
+inline SimConfig SmallConfig(ProtocolKind kind, int nodes, int64_t shared_bytes = 1 << 20,
+                             int64_t page_size = 1024) {
+  SimConfig cfg;
+  cfg.nodes = nodes;
+  cfg.page_size = page_size;
+  cfg.shared_bytes = shared_bytes;
+  cfg.protocol.kind = kind;
+  return cfg;
+}
+
+// The paper's four protocols plus the two extensions (ERC, AURC): every
+// generic correctness test runs against all six.
+inline const std::vector<ProtocolKind>& AllProtocols() {
+  static const std::vector<ProtocolKind> kAll = {
+      ProtocolKind::kLrc,  ProtocolKind::kOlrc, ProtocolKind::kHlrc,
+      ProtocolKind::kOhlrc, ProtocolKind::kErc, ProtocolKind::kAurc};
+  return kAll;
+}
+
+// Only the protocols evaluated in the paper.
+inline const std::vector<ProtocolKind>& PaperProtocols() {
+  static const std::vector<ProtocolKind> kPaper = {
+      ProtocolKind::kLrc, ProtocolKind::kOlrc, ProtocolKind::kHlrc, ProtocolKind::kOhlrc};
+  return kPaper;
+}
+
+}  // namespace testing
+}  // namespace hlrc
+
+#endif  // TESTS_TEST_UTIL_H_

@@ -1,0 +1,209 @@
+// svmsim — command-line driver for the HLRC shared-virtual-memory simulator.
+//
+// Runs one benchmark application under one protocol and prints the full
+// paper-style report: time breakdown, operation counts, traffic, protocol
+// memory, and optionally a Chrome trace.
+//
+//   svmsim --app=water-nsq --protocol=hlrc --nodes=32
+//   svmsim --app=lu --protocol=lrc --nodes=64 --scale=paper --trace=lu.json
+//   svmsim --list
+//
+// Flags:
+//   --app=NAME            lu | sor | water-nsq | water-sp | raytrace
+//   --protocol=NAME       lrc | olrc | hlrc | ohlrc | erc | aurc
+//   --nodes=N             node count (default 8)
+//   --scale=S             tiny | default | paper
+//   --page-size=BYTES     SVM page size (default 4096)
+//   --home=POLICY         block | round-robin | single-node
+//   --diff-policy=P       eager | lazy (homeless protocols)
+//   --gc-threshold=BYTES  homeless GC trigger (default 4 MiB)
+//   --migrate-homes       enable dynamic home migration (home-based)
+//   --trace=FILE.json     dump a chrome://tracing file
+//   --per-node            print the per-node breakdown table
+//   --no-verify           skip result verification
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "src/apps/app.h"
+#include "src/common/table.h"
+#include "src/svm/system.h"
+
+namespace hlrc {
+namespace {
+
+struct Options {
+  std::string app = "sor";
+  ProtocolKind protocol = ProtocolKind::kHlrc;
+  int nodes = 8;
+  AppScale scale = AppScale::kDefault;
+  int64_t page_size = 4096;
+  HomePolicy home = HomePolicy::kBlock;
+  DiffPolicy diff_policy = DiffPolicy::kEager;
+  int64_t gc_threshold = 4ll << 20;
+  std::string trace_path;
+  bool migrate_homes = false;
+  bool per_node = false;
+  bool verify = true;
+};
+
+[[noreturn]] void Usage() {
+  std::fprintf(stderr,
+               "usage: svmsim --app=NAME --protocol=NAME [--nodes=N] [--scale=S]\n"
+               "              [--page-size=B] [--home=P] [--diff-policy=P]\n"
+               "              [--gc-threshold=B] [--trace=FILE] [--per-node] [--no-verify]\n"
+               "       svmsim --list\n");
+  std::exit(2);
+}
+
+ProtocolKind ParseProtocol(const std::string& s) {
+  if (s == "lrc") return ProtocolKind::kLrc;
+  if (s == "olrc") return ProtocolKind::kOlrc;
+  if (s == "hlrc") return ProtocolKind::kHlrc;
+  if (s == "ohlrc") return ProtocolKind::kOhlrc;
+  if (s == "erc") return ProtocolKind::kErc;
+  if (s == "aurc") return ProtocolKind::kAurc;
+  std::fprintf(stderr, "unknown protocol '%s'\n", s.c_str());
+  Usage();
+}
+
+Options Parse(int argc, char** argv) {
+  Options o;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto val = [&](const char* p) { return arg.substr(std::strlen(p)); };
+    if (arg == "--list") {
+      std::printf("applications:");
+      for (const std::string& a : AllAppNames()) {
+        std::printf(" %s", a.c_str());
+      }
+      std::printf("\nprotocols: lrc olrc hlrc ohlrc erc aurc\n");
+      std::exit(0);
+    } else if (arg.rfind("--app=", 0) == 0) {
+      o.app = val("--app=");
+    } else if (arg.rfind("--protocol=", 0) == 0) {
+      o.protocol = ParseProtocol(val("--protocol="));
+    } else if (arg.rfind("--nodes=", 0) == 0) {
+      o.nodes = std::atoi(val("--nodes=").c_str());
+    } else if (arg.rfind("--scale=", 0) == 0) {
+      const std::string s = val("--scale=");
+      o.scale = s == "tiny" ? AppScale::kTiny
+                            : (s == "paper" ? AppScale::kPaper : AppScale::kDefault);
+    } else if (arg.rfind("--page-size=", 0) == 0) {
+      o.page_size = std::atoll(val("--page-size=").c_str());
+    } else if (arg.rfind("--home=", 0) == 0) {
+      const std::string s = val("--home=");
+      o.home = s == "round-robin"
+                   ? HomePolicy::kRoundRobin
+                   : (s == "single-node" ? HomePolicy::kSingleNode : HomePolicy::kBlock);
+    } else if (arg.rfind("--diff-policy=", 0) == 0) {
+      o.diff_policy = val("--diff-policy=") == "lazy" ? DiffPolicy::kLazy : DiffPolicy::kEager;
+    } else if (arg.rfind("--gc-threshold=", 0) == 0) {
+      o.gc_threshold = std::atoll(val("--gc-threshold=").c_str());
+    } else if (arg.rfind("--trace=", 0) == 0) {
+      o.trace_path = val("--trace=");
+    } else if (arg == "--migrate-homes") {
+      o.migrate_homes = true;
+    } else if (arg == "--per-node") {
+      o.per_node = true;
+    } else if (arg == "--no-verify") {
+      o.verify = false;
+    } else {
+      std::fprintf(stderr, "unknown flag: %s\n", arg.c_str());
+      Usage();
+    }
+  }
+  return o;
+}
+
+int Main(int argc, char** argv) {
+  const Options o = Parse(argc, argv);
+
+  SimConfig cfg;
+  cfg.nodes = o.nodes;
+  cfg.page_size = o.page_size;
+  cfg.shared_bytes = 256ll << 20;
+  cfg.protocol.kind = o.protocol;
+  cfg.protocol.home_policy = o.home;
+  cfg.protocol.diff_policy = o.diff_policy;
+  cfg.protocol.gc_threshold_bytes = o.gc_threshold;
+  cfg.protocol.migrate_homes = o.migrate_homes;
+
+  auto app = MakeApp(o.app, o.scale);
+  System sys(cfg);
+  TraceLog* trace = o.trace_path.empty() ? nullptr : sys.EnableTracing();
+  app->Setup(sys);
+  sys.Run(app->Program());
+
+  std::string why;
+  const bool verified = !o.verify || app->Verify(sys, &why);
+
+  const RunReport& report = sys.report();
+  const NodeReport avg = report.Average();
+  const NodeReport totals = report.Totals();
+
+  std::printf("%s under %s on %d nodes (%s scale, %lld B pages, %s homes)\n",
+              app->name().c_str(), ProtocolName(o.protocol), o.nodes,
+              o.scale == AppScale::kPaper ? "paper"
+                                          : (o.scale == AppScale::kTiny ? "tiny" : "default"),
+              static_cast<long long>(o.page_size), HomePolicyName(o.home));
+  std::printf("verification: %s%s\n\n", verified ? "OK" : "FAILED ",
+              verified ? "" : why.c_str());
+
+  Table summary("Run summary");
+  summary.SetHeader({"Metric", "Value"});
+  summary.AddRow({"Virtual time", Table::Fmt(ToSeconds(report.total_time), 3) + " s"});
+  summary.AddRow({"Computation (avg/node)", Table::Fmt(ToSeconds(avg.Computation()), 3) + " s"});
+  summary.AddRow({"Data transfer wait (avg)", Table::Fmt(ToSeconds(avg.DataTransfer()), 3) + " s"});
+  summary.AddRow({"Lock wait (avg)", Table::Fmt(ToSeconds(avg.LockTime()), 3) + " s"});
+  summary.AddRow({"Barrier wait (avg)", Table::Fmt(ToSeconds(avg.BarrierTime()), 3) + " s"});
+  summary.AddRow({"GC time (avg)", Table::Fmt(ToSeconds(avg.GcTime()), 3) + " s"});
+  summary.AddRow({"Protocol overhead (avg)",
+                  Table::Fmt(ToSeconds(avg.ProtocolOverhead()), 3) + " s"});
+  summary.AddSeparator();
+  summary.AddRow({"Messages", Table::Fmt(totals.traffic.msgs_sent)});
+  summary.AddRow({"Update traffic", Table::FmtBytes(totals.traffic.update_bytes_sent)});
+  summary.AddRow({"Protocol traffic", Table::FmtBytes(totals.traffic.protocol_bytes_sent)});
+  summary.AddSeparator();
+  summary.AddRow({"Read misses (avg/node)", Table::Fmt(avg.proto.read_misses)});
+  summary.AddRow({"Page fetches (avg/node)", Table::Fmt(avg.proto.page_fetches)});
+  summary.AddRow({"Diffs created (avg/node)", Table::Fmt(avg.proto.diffs_created)});
+  summary.AddRow({"Diffs applied (avg/node)", Table::Fmt(avg.proto.diffs_applied)});
+  summary.AddRow({"Lock acquires (avg/node)", Table::Fmt(avg.proto.lock_acquires)});
+  summary.AddRow({"Barriers (avg/node)", Table::Fmt(avg.proto.barriers)});
+  summary.AddRow({"GC runs", Table::Fmt(totals.proto.gc_runs)});
+  summary.AddRow({"Protocol memory (max/node)", Table::FmtBytes(avg.proto_mem_highwater)});
+  summary.AddRow({"App memory", Table::FmtBytes(report.app_memory_bytes)});
+  summary.Print();
+
+  if (o.per_node) {
+    std::printf("\n");
+    Table per("Per-node breakdown");
+    per.SetHeader({"Node", "Finish(s)", "Compute(s)", "Data(s)", "Lock(s)", "Barrier(s)",
+                   "Proto(s)"});
+    for (size_t n = 0; n < report.nodes.size(); ++n) {
+      const NodeReport& r = report.nodes[n];
+      per.AddRow({Table::Fmt(static_cast<int64_t>(n)), Table::Fmt(ToSeconds(r.finish_time), 3),
+                  Table::Fmt(ToSeconds(r.Computation()), 3),
+                  Table::Fmt(ToSeconds(r.DataTransfer()), 3),
+                  Table::Fmt(ToSeconds(r.LockTime()), 3),
+                  Table::Fmt(ToSeconds(r.BarrierTime()), 3),
+                  Table::Fmt(ToSeconds(r.ProtocolOverhead()), 3)});
+    }
+    per.Print();
+  }
+
+  if (trace != nullptr) {
+    trace->DumpChromeJson(o.trace_path);
+    std::printf("\ntrace written to %s (%lld events, %lld dropped)\n", o.trace_path.c_str(),
+                static_cast<long long>(trace->recorded()),
+                static_cast<long long>(trace->dropped()));
+  }
+  return verified ? 0 : 1;
+}
+
+}  // namespace
+}  // namespace hlrc
+
+int main(int argc, char** argv) { return hlrc::Main(argc, argv); }
