@@ -1,0 +1,79 @@
+// Ablation: protocol sensitivity to an unreliable interconnect. The paper's
+// runs assume lossless messaging; here each protocol family runs over the
+// fault-injected fabric (docs/FAULTS.md) with the reliable-delivery layer
+// recovering drops, and we measure the slowdown versus a clean network.
+//
+// Expected shape: homeless LRC — many small point-to-point messages and
+// per-writer round trips — exposes more frames to loss than home-based HLRC,
+// but a single dropped message only stalls the requester until the retry
+// timer fires, so slowdown ~ drop_rate * retry_timeout * message_count.
+// AURC's write-through streams give it the largest frame count and hence the
+// most retransmissions.
+#include <cstdio>
+
+#include "bench/bench_util.h"
+
+namespace hlrc {
+namespace bench {
+namespace {
+
+int Main(int argc, char** argv) {
+  BenchOptions opts = ParseArgs(argc, argv);
+  if (opts.apps.size() == 5) {
+    opts.apps = {"sor", "lu"};  // The issue's acceptance pair.
+  }
+  const int nodes = opts.node_counts.back();
+  const double drop_rates[] = {0.0, 0.001, 0.01, 0.05};
+  const ProtocolKind kinds[] = {ProtocolKind::kLrc, ProtocolKind::kErc,
+                                ProtocolKind::kHlrc, ProtocolKind::kAurc};
+
+  std::printf("=== Ablation: fault sensitivity (%d nodes, fault seed %llu) ===\n\n",
+              nodes, static_cast<unsigned long long>(opts.fault_seed));
+  Table table("");
+  table.SetHeader({"Application", "Protocol", "Drop rate", "Time(s)", "Slowdown",
+                   "Msgs", "Retransmits", "Acks"});
+  for (const std::string& app : opts.apps) {
+    for (ProtocolKind kind : kinds) {
+      SimTime clean_time = 0;
+      for (double drop : drop_rates) {
+        SimConfig cfg = BaseConfig(opts, kind, nodes);
+        if (drop > 0) {
+          cfg.fault.drop_prob = drop;
+          cfg.fault.seed = opts.fault_seed;
+          cfg.reliability.enabled = true;
+        }
+        const AppRunResult result = RunVerified(app, opts, cfg);
+        const NodeReport totals = result.report.Totals();
+        if (drop == 0.0) {
+          clean_time = result.report.total_time;
+        }
+        char rate[16];
+        std::snprintf(rate, sizeof(rate), "%.1f%%", drop * 100.0);
+        table.AddRow({app, ProtocolName(kind), rate,
+                      FmtSeconds(result.report.total_time),
+                      Table::Fmt(static_cast<double>(result.report.total_time) /
+                                     static_cast<double>(clean_time),
+                                 2),
+                      Table::Fmt(totals.traffic.msgs_sent),
+                      Table::Fmt(totals.traffic.msgs_retransmitted),
+                      Table::Fmt(totals.traffic.acks_sent)});
+        std::fflush(stdout);
+      }
+      table.AddSeparator();
+    }
+  }
+  table.Print();
+  std::printf(
+      "\nShape to check: every protocol still verifies at every drop rate (the\n"
+      "reliable channel restores exactly-once in-order delivery), and slowdown\n"
+      "grows with drop rate roughly in proportion to each protocol's message\n"
+      "count — message-hungry homeless LRC and write-through AURC degrade\n"
+      "fastest; HLRC's one-round-trip-per-miss profile is the most tolerant.\n");
+  return 0;
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace hlrc
+
+int main(int argc, char** argv) { return hlrc::bench::Main(argc, argv); }

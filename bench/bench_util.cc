@@ -38,6 +38,12 @@ ProtocolKind ParseProtocol(const std::string& s) {
   if (s == "ohlrc") {
     return ProtocolKind::kOhlrc;
   }
+  if (s == "erc") {
+    return ProtocolKind::kErc;
+  }
+  if (s == "aurc") {
+    return ProtocolKind::kAurc;
+  }
   HLRC_CHECK_MSG(false, "unknown protocol '%s'", s.c_str());
   return ProtocolKind::kLrc;
 }
@@ -47,7 +53,8 @@ ProtocolKind ParseProtocol(const std::string& s) {
                "usage: %s [--nodes=8,32,64] [--scale=tiny|default|paper]\n"
                "          [--apps=lu,sor,water-nsq,water-sp,raytrace]\n"
                "          [--protocols=lrc,olrc,hlrc,ohlrc] [--page-size=N]\n"
-               "          [--home=block|round-robin|single-node] [--no-verify]\n",
+               "          [--home=block|round-robin|single-node] [--no-verify]\n"
+               "          [--fault-drop=P] [--fault-seed=N]\n",
                argv0);
   std::exit(2);
 }
@@ -97,6 +104,11 @@ BenchOptions ParseArgs(int argc, char** argv) {
       } else {
         Usage(argv[0]);
       }
+    } else if (arg.rfind("--fault-drop=", 0) == 0) {
+      opts.fault_drop = std::atof(value("--fault-drop=").c_str());
+    } else if (arg.rfind("--fault-seed=", 0) == 0) {
+      opts.fault_seed = static_cast<uint64_t>(
+          std::strtoull(value("--fault-seed=").c_str(), nullptr, 10));
     } else if (arg == "--no-verify") {
       opts.verify = false;
     } else if (arg == "--help" || arg == "-h") {
@@ -119,6 +131,11 @@ SimConfig BaseConfig(const BenchOptions& opts, ProtocolKind kind, int nodes) {
   cfg.shared_bytes = 256ll << 20;  // Mirrors are lazily backed; size generously.
   cfg.protocol.kind = kind;
   cfg.protocol.home_policy = opts.home_policy;
+  if (opts.fault_drop > 0) {
+    cfg.fault.drop_prob = opts.fault_drop;
+    cfg.fault.seed = opts.fault_seed;
+    cfg.reliability.enabled = true;
+  }
   return cfg;
 }
 

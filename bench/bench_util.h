@@ -22,10 +22,16 @@ struct BenchOptions {
   int64_t page_size = 4096;
   HomePolicy home_policy = HomePolicy::kBlock;
   bool verify = true;
+  // Fault injection (docs/FAULTS.md): a nonzero drop rate makes BaseConfig
+  // produce a lossy fabric with reliable delivery enabled, so any table can
+  // be regenerated under degradation (e.g. table5_traffic --fault-drop=0.01).
+  double fault_drop = 0.0;
+  uint64_t fault_seed = 42;
 };
 
 // Parses --nodes=8,32,64 --scale=tiny|default|paper --apps=lu,sor
-// --protocols=lrc,hlrc --page-size=4096. Unknown flags abort with usage.
+// --protocols=lrc,hlrc --page-size=4096 --fault-drop=0.01 --fault-seed=7.
+// Unknown flags abort with usage.
 BenchOptions ParseArgs(int argc, char** argv);
 
 SimConfig BaseConfig(const BenchOptions& opts, ProtocolKind kind, int nodes);

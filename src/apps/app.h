@@ -9,6 +9,7 @@
 #define SRC_APPS_APP_H_
 
 #include <memory>
+#include <optional>
 #include <string>
 
 #include "src/svm/system.h"
@@ -40,7 +41,11 @@ enum class AppScale {
 };
 
 // Factory by name: "lu", "sor", "water-nsq", "water-sp", "raytrace", "fft".
-std::unique_ptr<App> MakeApp(const std::string& name, AppScale scale);
+// `seed` overrides the application's input seed (random initial state); by
+// default each app keeps its historical fixed seed, so existing runs are
+// unchanged. Pass SimConfig::seed here to plumb one root seed through a run.
+std::unique_ptr<App> MakeApp(const std::string& name, AppScale scale,
+                             std::optional<uint64_t> seed = std::nullopt);
 
 // The five benchmark names evaluated in the paper, in its order.
 const std::vector<std::string>& AppNames();

@@ -1,4 +1,5 @@
 #include <memory>
+#include <optional>
 
 #include "src/apps/app.h"
 #include "src/apps/fft.h"
@@ -23,7 +24,8 @@ const std::vector<std::string>& AllAppNames() {
   return kNames;
 }
 
-std::unique_ptr<App> MakeApp(const std::string& name, AppScale scale) {
+std::unique_ptr<App> MakeApp(const std::string& name, AppScale scale,
+                             std::optional<uint64_t> seed) {
   if (name == "lu") {
     LuConfig cfg;
     switch (scale) {
@@ -39,6 +41,9 @@ std::unique_ptr<App> MakeApp(const std::string& name, AppScale scale) {
         cfg.n = 2048;
         cfg.block = 32;
         break;
+    }
+    if (seed) {
+      cfg.seed = *seed;
     }
     return std::make_unique<LuApp>(cfg);
   }
@@ -61,6 +66,9 @@ std::unique_ptr<App> MakeApp(const std::string& name, AppScale scale) {
         cfg.iterations = 51;
         break;
     }
+    if (seed) {
+      cfg.seed = *seed;
+    }
     return std::make_unique<SorApp>(cfg);
   }
   if (name == "water-nsq") {
@@ -78,6 +86,9 @@ std::unique_ptr<App> MakeApp(const std::string& name, AppScale scale) {
         cfg.molecules = 4096;
         cfg.steps = 3;
         break;
+    }
+    if (seed) {
+      cfg.seed = *seed;
     }
     return std::make_unique<WaterNsqApp>(cfg);
   }
@@ -104,6 +115,9 @@ std::unique_ptr<App> MakeApp(const std::string& name, AppScale scale) {
         cfg.box = 32.0;
         break;
     }
+    if (seed) {
+      cfg.seed = *seed;
+    }
     return std::make_unique<WaterSpApp>(cfg);
   }
   if (name == "fft") {
@@ -118,6 +132,9 @@ std::unique_ptr<App> MakeApp(const std::string& name, AppScale scale) {
       case AppScale::kPaper:
         cfg.n = 512;
         break;
+    }
+    if (seed) {
+      cfg.seed = *seed;
     }
     return std::make_unique<FftApp>(cfg);
   }
@@ -138,6 +155,9 @@ std::unique_ptr<App> MakeApp(const std::string& name, AppScale scale) {
         cfg.height = 256;
         cfg.spheres = 64;
         break;
+    }
+    if (seed) {
+      cfg.seed = *seed;
     }
     return std::make_unique<RaytraceApp>(cfg);
   }

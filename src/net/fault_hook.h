@@ -1,0 +1,40 @@
+// Fault-injection hook interface for the simulated interconnect.
+//
+// The network consults an optional FaultHook once per physical transmission
+// (initial sends, retransmissions and acks alike) and applies the returned
+// decision: drop the frame in the network, corrupt it (delivered bytes, but
+// discarded at the receiving NIC after a checksum failure), duplicate it, or
+// delay its head arrival. The hook lives here so that src/net does not depend
+// on src/fault; the concrete implementation (`FaultInjector`, driven by a
+// `FaultPlan`) is in src/fault/fault_injector.h.
+#ifndef SRC_NET_FAULT_HOOK_H_
+#define SRC_NET_FAULT_HOOK_H_
+
+#include "src/common/types.h"
+#include "src/net/message.h"
+
+namespace hlrc {
+
+// What happens to one physical frame. `drop` and `corrupt` are mutually
+// exclusive with `duplicate`; `extra_delay` composes with either a normal or
+// a duplicated delivery.
+struct FaultDecision {
+  bool drop = false;       // Lost in the network: never reaches the receiver.
+  bool corrupt = false;    // Reaches the receiver, fails its checksum, dropped.
+  bool duplicate = false;  // Delivered twice (e.g. a misrouted-and-recovered copy).
+  SimTime extra_delay = 0; // Added to the head arrival time.
+};
+
+class FaultHook {
+ public:
+  virtual ~FaultHook() = default;
+
+  // Called at the simulated moment a frame enters the network. Must be
+  // deterministic given the call sequence (no wall-clock, no global state).
+  virtual FaultDecision OnTransmit(NodeId src, NodeId dst, MsgType type, SimTime now,
+                                   bool retransmit) = 0;
+};
+
+}  // namespace hlrc
+
+#endif  // SRC_NET_FAULT_HOOK_H_

@@ -32,7 +32,8 @@ enum class MsgType : int {
   kGcValidate = 12,  // Manager -> node: pages this node must validate.
   kGcDone = 13,      // Node -> manager: validation finished.
   kHomeTransfer = 14,  // Old home -> new home: page master + flush state.
-  kCount = 15,
+  kAck = 15,           // Reliable-delivery acknowledgement (src/net/reliable_channel.h).
+  kCount = 16,
 };
 
 const char* MsgTypeName(MsgType t);

@@ -39,6 +39,8 @@ const char* MsgTypeName(MsgType t) {
       return "gc-done";
     case MsgType::kHomeTransfer:
       return "home-transfer";
+    case MsgType::kAck:
+      return "ack";
     case MsgType::kCount:
       break;
   }
@@ -58,42 +60,81 @@ Network::Network(Engine* engine, int nodes, NetworkConfig config)
   }
 }
 
+Network::~Network() = default;
+
 void Network::SetHandler(NodeId node, Handler handler) {
   HLRC_CHECK(node >= 0 && node < static_cast<NodeId>(handlers_.size()));
   handlers_[node] = std::move(handler);
+}
+
+void Network::EnableReliableDelivery(const ReliabilityConfig& config) {
+  HLRC_CHECK_MSG(!sent_anything_, "EnableReliableDelivery must precede any Send");
+  HLRC_CHECK(config.enabled);
+  HLRC_CHECK(config.retry_timeout > 0);
+  HLRC_CHECK(config.retry_backoff >= 1.0);
+  HLRC_CHECK(config.max_retries >= 0);
+  channel_ = std::make_unique<ReliableChannel>(engine_, this, config,
+                                               static_cast<int>(handlers_.size()));
 }
 
 void Network::Send(Message msg) {
   HLRC_CHECK(msg.src >= 0 && msg.src < static_cast<NodeId>(handlers_.size()));
   HLRC_CHECK(msg.dst >= 0 && msg.dst < static_cast<NodeId>(handlers_.size()));
   HLRC_CHECK_MSG(static_cast<bool>(handlers_[msg.dst]), "no handler on node %d", msg.dst);
+  sent_anything_ = true;
 
-  const int64_t bytes = msg.TotalBytes(config_.header_bytes);
+  if (channel_ != nullptr) {
+    channel_->SubmitData(std::move(msg));
+    return;
+  }
+  auto frame = std::make_shared<WireFrame>();
+  frame->src = msg.src;
+  frame->dst = msg.dst;
+  frame->type = msg.type;
+  frame->update_bytes = msg.update_bytes;
+  frame->protocol_bytes = msg.protocol_bytes;
+  frame->msg = std::make_shared<Message>(std::move(msg));
+  Transmit(frame, /*retransmit=*/false);
+}
+
+void Network::Transmit(const std::shared_ptr<WireFrame>& frame, bool retransmit) {
+  const int64_t bytes = config_.header_bytes + frame->update_bytes + frame->protocol_bytes;
   const SimTime now = engine_->Now();
 
-  TrafficStats& s = stats_[msg.src];
+  TrafficStats& s = stats_[frame->src];
   ++s.msgs_sent;
-  s.update_bytes_sent += msg.update_bytes;
-  s.protocol_bytes_sent += msg.protocol_bytes + config_.header_bytes;
-  ++s.msgs_by_type[static_cast<int>(msg.type)];
-  ++stats_[msg.dst].msgs_received;
+  s.update_bytes_sent += frame->update_bytes;
+  s.protocol_bytes_sent += frame->protocol_bytes + config_.header_bytes;
+  ++s.msgs_by_type[static_cast<int>(frame->type)];
+  if (retransmit) {
+    ++s.msgs_retransmitted;
+    TraceNet(frame->src, TraceEvent::kNetRetransmit, static_cast<int64_t>(frame->type),
+             frame->dst);
+  }
+
+  FaultDecision fault;
+  if (fault_hook_ != nullptr) {
+    fault = fault_hook_->OnTransmit(frame->src, frame->dst, frame->type, now, retransmit);
+  }
 
   const SimTime xfer = bytes * config_.per_byte;
 
-  // Sending NIC channel serialization.
-  const SimTime departure = std::max(now, out_free_[msg.src]);
-  out_free_[msg.src] = departure + xfer;
+  // Sending NIC channel serialization: the sender pays for the transmission
+  // whether or not the network later loses the frame.
+  const SimTime departure = std::max(now, out_free_[frame->src]);
+  out_free_[frame->src] = departure + xfer;
 
   // Wire time: latency + hops. With wormhole routing the message is pipelined,
   // so the head arrives after the latency and the tail `xfer` later.
-  SimTime head_arrival =
-      departure + config_.base_latency + mesh_.Hops(msg.src, msg.dst) * config_.per_hop;
+  SimTime head_arrival = departure + config_.base_latency +
+                         mesh_.Hops(frame->src, frame->dst) * config_.per_hop +
+                         fault.extra_delay;
 
-  if (config_.model_link_contention && msg.src != msg.dst) {
+  if (config_.model_link_contention && frame->src != frame->dst) {
     // A wormhole route holds all its links for the duration of the transfer;
     // approximate by serializing on the maximum link availability.
     SimTime route_free = 0;
-    const std::vector<int64_t> route = mesh_.Route(msg.src, msg.dst);
+    const std::vector<int64_t> route = mesh_.Route(frame->src, frame->dst);
     for (int64_t l : route) {
       route_free = std::max(route_free, link_free_[static_cast<size_t>(l)]);
     }
@@ -103,16 +144,58 @@ void Network::Send(Message msg) {
     }
   }
 
+  if (fault.drop) {
+    // Lost in the fabric: never reaches the receiving NIC.
+    ++s.msgs_dropped_in_net;
+    TraceNet(frame->src, TraceEvent::kNetDrop, static_cast<int64_t>(frame->type), frame->dst);
+    return;
+  }
+
   // Receiving NIC channel serialization: the message is fully delivered when
   // its bytes have drained into the destination.
-  const SimTime delivered = std::max(head_arrival, in_free_[msg.dst]) + xfer;
-  in_free_[msg.dst] = delivered;
+  const SimTime delivered = std::max(head_arrival, in_free_[frame->dst]) + xfer;
+  in_free_[frame->dst] = delivered;
 
+  if (fault.corrupt) {
+    // The bytes occupied the receiving NIC but fail their checksum there and
+    // are discarded: equivalent to a loss, just later and more expensive.
+    ++s.msgs_dropped_in_net;
+    TraceNet(frame->src, TraceEvent::kNetDrop, static_cast<int64_t>(frame->type), frame->dst);
+    return;
+  }
+
+  engine_->ScheduleAt(delivered, [this, frame] { OnFrameArrival(frame); });
+
+  if (fault.duplicate && channel_ != nullptr) {
+    // A spurious second copy drains the receiving NIC right after the first.
+    // Only meaningful with reliable delivery: the channel dedups it; without
+    // a dedup layer a duplicate would hand the protocol the same (consumed)
+    // payload twice, so the plain fabric ignores the flag.
+    const SimTime delivered2 = delivered + xfer;
+    in_free_[frame->dst] = delivered2;
+    engine_->ScheduleAt(delivered2, [this, frame] { OnFrameArrival(frame); });
+  }
+}
+
+void Network::OnFrameArrival(const std::shared_ptr<WireFrame>& frame) {
+  ++stats_[frame->dst].msgs_received;
+  if (channel_ != nullptr) {
+    channel_->OnArrival(frame);
+    return;
+  }
+  HLRC_CHECK(!frame->is_ack);
+  DeliverToHandler(std::move(*frame->msg));
+}
+
+void Network::DeliverToHandler(Message msg) {
   Handler& handler = handlers_[msg.dst];
-  engine_->ScheduleAt(delivered,
-                      [&handler, m = std::make_shared<Message>(std::move(msg))]() mutable {
-                        handler(std::move(*m));
-                      });
+  handler(std::move(msg));
+}
+
+void Network::TraceNet(NodeId node, TraceEvent event, int64_t arg0, int64_t arg1) {
+  if (trace_ != nullptr) {
+    trace_->Record(node, engine_->Now(), event, arg0, arg1);
+  }
 }
 
 TrafficStats Network::TotalStats() const {
@@ -122,6 +205,10 @@ TrafficStats Network::TotalStats() const {
     total.msgs_received += s.msgs_received;
     total.update_bytes_sent += s.update_bytes_sent;
     total.protocol_bytes_sent += s.protocol_bytes_sent;
+    total.msgs_retransmitted += s.msgs_retransmitted;
+    total.msgs_dropped_in_net += s.msgs_dropped_in_net;
+    total.msgs_duplicated_dropped += s.msgs_duplicated_dropped;
+    total.acks_sent += s.acks_sent;
     for (size_t i = 0; i < s.msgs_by_type.size(); ++i) {
       total.msgs_by_type[i] += s.msgs_by_type[i];
     }

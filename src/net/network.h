@@ -6,6 +6,14 @@
 // produces the paper's "hot spots": simultaneous requests to one node queue
 // behind each other. An optional link-contention model additionally reserves
 // every mesh link along the XY route.
+//
+// Two optional layers turn the clean fabric into a degradation-testing
+// harness (docs/FAULTS.md):
+//  * a FaultHook (src/net/fault_hook.h) consulted once per physical
+//    transmission, which may drop, corrupt, duplicate or delay frames;
+//  * a ReliableChannel (src/net/reliable_channel.h) restoring exactly-once
+//    in-order delivery over the lossy fabric via seq numbers, acks and
+//    timeout/retransmit, transparently to the protocols.
 #ifndef SRC_NET_NETWORK_H_
 #define SRC_NET_NETWORK_H_
 
@@ -16,9 +24,12 @@
 #include <vector>
 
 #include "src/common/types.h"
+#include "src/net/fault_hook.h"
 #include "src/net/message.h"
+#include "src/net/reliable_channel.h"
 #include "src/net/topology.h"
 #include "src/sim/engine.h"
+#include "src/trace/trace.h"
 
 namespace hlrc {
 
@@ -36,13 +47,21 @@ struct NetworkConfig {
   bool model_link_contention = false;
 };
 
-// Per-node traffic counters (Table 5).
+// Per-node traffic counters (Table 5). Send-side counters count physical
+// transmissions (retransmissions included); receive-side counters count
+// physical arrivals, so under fault injection sent > received by exactly the
+// frames lost in the network.
 struct TrafficStats {
   int64_t msgs_sent = 0;
   int64_t msgs_received = 0;
   int64_t update_bytes_sent = 0;
   int64_t protocol_bytes_sent = 0;  // Includes headers.
   std::array<int64_t, static_cast<int>(MsgType::kCount)> msgs_by_type{};
+  // Reliable-delivery / fault-injection counters (zero on a clean fabric).
+  int64_t msgs_retransmitted = 0;      // Retransmissions issued by this node.
+  int64_t msgs_dropped_in_net = 0;     // Frames from this node lost or corrupted.
+  int64_t msgs_duplicated_dropped = 0; // Duplicate arrivals this node discarded.
+  int64_t acks_sent = 0;               // Acks this node sent for data arrivals.
 
   int64_t TotalBytesSent() const { return update_bytes_sent + protocol_bytes_sent; }
 };
@@ -52,21 +71,48 @@ class Network {
   using Handler = std::function<void(Message)>;
 
   Network(Engine* engine, int nodes, NetworkConfig config);
+  ~Network();
 
   // Registers the message handler for `node`. Must be set before Send targets
   // that node.
   void SetHandler(NodeId node, Handler handler);
 
   // Sends `msg`; the destination handler runs when the message has fully
-  // arrived.
+  // arrived (with reliable delivery: when it has been accepted in order).
   void Send(Message msg);
+
+  // Installs a fault hook consulted on every physical transmission. Pass
+  // nullptr to remove. The hook must outlive all Send activity.
+  void SetFaultHook(FaultHook* hook) { fault_hook_ = hook; }
+
+  // Enables the reliable-delivery layer. Must be called before any Send.
+  void EnableReliableDelivery(const ReliabilityConfig& config);
+
+  // Records net-level events (drops, retransmits, dup-drops) when non-null.
+  void SetTraceLog(TraceLog* log) { trace_ = log; }
 
   const TrafficStats& NodeStats(NodeId node) const { return stats_[node]; }
   TrafficStats TotalStats() const;
   const Mesh2D& mesh() const { return mesh_; }
   const NetworkConfig& config() const { return config_; }
+  const ReliableChannel* reliable_channel() const { return channel_.get(); }
 
  private:
+  friend class ReliableChannel;
+
+  // Runs one frame through the physical model: NIC serialization, wire time,
+  // fault decision. Schedules OnFrameArrival at the delivery time (unless the
+  // frame is dropped in the network).
+  void Transmit(const std::shared_ptr<WireFrame>& frame, bool retransmit);
+
+  // Runs at the physical arrival time of `frame` on its destination NIC.
+  void OnFrameArrival(const std::shared_ptr<WireFrame>& frame);
+
+  // Hands an accepted message to the destination's protocol handler.
+  void DeliverToHandler(Message msg);
+
+  void TraceNet(NodeId node, TraceEvent event, int64_t arg0, int64_t arg1);
+
   Engine* engine_;
   NetworkConfig config_;
   Mesh2D mesh_;
@@ -75,6 +121,10 @@ class Network {
   std::vector<SimTime> in_free_;   // Receive channel free time per node.
   std::vector<SimTime> link_free_;
   std::vector<TrafficStats> stats_;
+  FaultHook* fault_hook_ = nullptr;
+  TraceLog* trace_ = nullptr;
+  std::unique_ptr<ReliableChannel> channel_;
+  bool sent_anything_ = false;
 };
 
 }  // namespace hlrc

@@ -1,0 +1,130 @@
+#include "src/net/reliable_channel.h"
+
+#include <cmath>
+#include <utility>
+
+#include "src/common/check.h"
+#include "src/net/network.h"
+
+namespace hlrc {
+
+ReliableChannel::ReliableChannel(Engine* engine, Network* network, ReliabilityConfig config,
+                                 int nodes)
+    : engine_(engine),
+      network_(network),
+      config_(config),
+      nodes_(nodes),
+      senders_(static_cast<size_t>(nodes) * static_cast<size_t>(nodes)),
+      receivers_(static_cast<size_t>(nodes) * static_cast<size_t>(nodes)) {}
+
+void ReliableChannel::SubmitData(Message msg) {
+  SenderPair& sp = senders_[PairIndex(msg.src, msg.dst)];
+  auto frame = std::make_shared<WireFrame>();
+  frame->src = msg.src;
+  frame->dst = msg.dst;
+  frame->type = msg.type;
+  frame->update_bytes = msg.update_bytes;
+  frame->protocol_bytes = msg.protocol_bytes;
+  frame->seq = sp.next_seq++;
+  frame->msg = std::make_shared<Message>(std::move(msg));
+  sp.unacked[frame->seq].frame = frame;
+  TransmitAttempt(sp, frame->seq);
+}
+
+void ReliableChannel::TransmitAttempt(SenderPair& sp, uint64_t seq) {
+  auto it = sp.unacked.find(seq);
+  HLRC_CHECK(it != sp.unacked.end());
+  Outstanding& o = it->second;
+  ++o.attempts;
+  network_->Transmit(o.frame, /*retransmit=*/o.attempts > 1);
+  // Exponential backoff: pure integer/double arithmetic on virtual time, so
+  // identical runs schedule identical timers.
+  const SimTime timeout = static_cast<SimTime>(
+      static_cast<double>(config_.retry_timeout) * std::pow(config_.retry_backoff, o.attempts - 1));
+  o.timer = engine_->Schedule(
+      timeout, [this, src = o.frame->src, dst = o.frame->dst, seq] { OnTimeout(src, dst, seq); });
+}
+
+void ReliableChannel::OnTimeout(NodeId src, NodeId dst, uint64_t seq) {
+  SenderPair& sp = senders_[PairIndex(src, dst)];
+  auto it = sp.unacked.find(seq);
+  if (it == sp.unacked.end()) {
+    return;  // Acked in the meantime (the ack also cancels the timer; belt and braces).
+  }
+  Outstanding& o = it->second;
+  HLRC_CHECK_MSG(
+      o.attempts - 1 < config_.max_retries,
+      "reliable channel: retry budget exhausted for %s %d->%d seq=%llu after %d attempts "
+      "(retry-timeout=%lld ns, backoff=%.2f, max-retries=%d): the destination is "
+      "unreachable (partition?) or the retry budget is too small for this loss rate",
+      MsgTypeName(o.frame->type), src, dst, static_cast<unsigned long long>(seq), o.attempts,
+      static_cast<long long>(config_.retry_timeout), config_.retry_backoff,
+      config_.max_retries);
+  TransmitAttempt(sp, seq);
+}
+
+void ReliableChannel::SendAck(const WireFrame& data_frame) {
+  auto ack = std::make_shared<WireFrame>();
+  ack->src = data_frame.dst;
+  ack->dst = data_frame.src;
+  ack->type = MsgType::kAck;
+  ack->protocol_bytes = config_.ack_bytes;
+  ack->is_ack = true;
+  ack->ack_seq = data_frame.seq;
+  ++network_->stats_[data_frame.dst].acks_sent;
+  network_->Transmit(ack, /*retransmit=*/false);
+}
+
+void ReliableChannel::OnArrival(const std::shared_ptr<WireFrame>& frame) {
+  if (frame->is_ack) {
+    // The ack travels receiver -> sender, so the acked pair is the reverse.
+    SenderPair& sp = senders_[PairIndex(frame->dst, frame->src)];
+    auto it = sp.unacked.find(frame->ack_seq);
+    if (it != sp.unacked.end()) {
+      engine_->Cancel(it->second.timer);
+      sp.unacked.erase(it);
+    }
+    return;  // Acks for already-acked frames (dup or re-ack) are idempotent.
+  }
+
+  // Every physical data arrival is (re-)acked, duplicates included: a
+  // duplicate usually means the original ack was lost and the sender is still
+  // retransmitting.
+  SendAck(*frame);
+
+  ReceiverPair& rp = receivers_[PairIndex(frame->src, frame->dst)];
+  if (frame->seq < rp.next_expected || rp.held.count(frame->seq) != 0) {
+    ++network_->stats_[frame->dst].msgs_duplicated_dropped;
+    network_->TraceNet(frame->dst, TraceEvent::kNetDupDrop,
+                       static_cast<int64_t>(frame->type), frame->src);
+    return;
+  }
+
+  // First acceptance of this sequence number: take the payload out of the
+  // shared frame (later duplicates are rejected by seq before touching it).
+  Message msg = std::move(*frame->msg);
+  if (frame->seq != rp.next_expected) {
+    rp.held.emplace(frame->seq, std::move(msg));  // Out of order: hold for the gap.
+    return;
+  }
+  ++rp.next_expected;
+  network_->DeliverToHandler(std::move(msg));
+  // A gap fill releases every consecutively-held successor, in order.
+  for (auto hit = rp.held.find(rp.next_expected); hit != rp.held.end();
+       hit = rp.held.find(rp.next_expected)) {
+    Message next = std::move(hit->second);
+    rp.held.erase(hit);
+    ++rp.next_expected;
+    network_->DeliverToHandler(std::move(next));
+  }
+}
+
+int64_t ReliableChannel::UnackedCount() const {
+  int64_t n = 0;
+  for (const SenderPair& sp : senders_) {
+    n += static_cast<int64_t>(sp.unacked.size());
+  }
+  return n;
+}
+
+}  // namespace hlrc

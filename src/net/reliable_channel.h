@@ -1,0 +1,122 @@
+// Reliable-delivery layer over the lossy physical interconnect.
+//
+// The base Network model assumes a perfectly reliable NX/2-style fabric:
+// exactly-once, in-order delivery per (src, dst) pair, which every protocol
+// in this repo silently depends on (one lost diff-flush or lock-grant would
+// deadlock or corrupt coherence). When fault injection makes the fabric
+// lossy, this layer restores those guarantees end-to-end — per-destination
+// sequence numbers, receiver-side dedup and reordering, and ack / timeout /
+// retransmit with exponential backoff — so all protocols run unchanged over
+// an unreliable network.
+//
+// Wire model: each Network::Send becomes a sequenced data frame. Every
+// physical arrival of a data frame is acknowledged (acks are header-sized
+// kAck messages, themselves subject to fault injection). The sender
+// retransmits an unacked frame after `retry_timeout`, doubling the timeout
+// by `retry_backoff` per attempt; exhausting `max_retries` is a fatal
+// diagnostic (the run aborts instead of hanging). The receiver delivers
+// frames to the protocol handler in sequence order per (src, dst) pair,
+// holding out-of-order arrivals and dropping duplicates.
+//
+// Everything is driven by the deterministic engine: identical seeds and
+// configurations produce bit-identical runs.
+#ifndef SRC_NET_RELIABLE_CHANNEL_H_
+#define SRC_NET_RELIABLE_CHANNEL_H_
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <vector>
+
+#include "src/common/types.h"
+#include "src/net/message.h"
+#include "src/sim/engine.h"
+
+namespace hlrc {
+
+class Network;
+
+struct ReliabilityConfig {
+  bool enabled = false;
+  // First retransmission fires this long after a transmission attempt. Must
+  // comfortably exceed the worst-case request round trip (base latency +
+  // transfer + endpoint queueing), or spurious retransmits waste bandwidth
+  // (they are harmless for correctness: the receiver dedups).
+  SimTime retry_timeout = Millis(10);
+  // Timeout multiplier per successive attempt of the same frame.
+  double retry_backoff = 2.0;
+  // Retransmissions allowed per frame before the run aborts with a fatal
+  // diagnostic. With backoff 2.0 the total patience is
+  // retry_timeout * (2^max_retries - 1).
+  int max_retries = 12;
+  // Protocol bytes carried by an ack (sequence number); headers are added by
+  // the network like any other message.
+  int64_t ack_bytes = 8;
+};
+
+// One physical transmission unit. Data frames reference the original Message
+// through a shared pointer: retransmitted copies alias the same storage, and
+// the receiver moves the payload out on first acceptance (later duplicates
+// are identified by sequence number before the payload is touched).
+struct WireFrame {
+  NodeId src = kInvalidNode;
+  NodeId dst = kInvalidNode;
+  MsgType type = MsgType::kLockRequest;
+  int64_t update_bytes = 0;
+  int64_t protocol_bytes = 0;
+  uint64_t seq = 0;
+  bool is_ack = false;
+  uint64_t ack_seq = 0;  // Valid when is_ack.
+  std::shared_ptr<Message> msg;  // Null for acks.
+};
+
+class ReliableChannel {
+ public:
+  ReliableChannel(Engine* engine, Network* network, ReliabilityConfig config, int nodes);
+
+  // Sender entry point: sequences `msg` and starts (re)transmission attempts.
+  void SubmitData(Message msg);
+
+  // Receiver entry point: runs at the physical arrival time of `frame` on
+  // `frame->dst`. Handles acks, dedup, reordering and in-order delivery.
+  void OnArrival(const std::shared_ptr<WireFrame>& frame);
+
+  // Frames still awaiting an ack (diagnostics / tests).
+  int64_t UnackedCount() const;
+
+  const ReliabilityConfig& config() const { return config_; }
+
+ private:
+  struct Outstanding {
+    std::shared_ptr<WireFrame> frame;
+    Engine::EventId timer = Engine::kInvalidEvent;
+    int attempts = 0;  // Physical transmissions so far.
+  };
+  struct SenderPair {
+    uint64_t next_seq = 0;
+    std::map<uint64_t, Outstanding> unacked;
+  };
+  struct ReceiverPair {
+    uint64_t next_expected = 0;
+    std::map<uint64_t, Message> held;  // Out-of-order arrivals awaiting a gap fill.
+  };
+
+  size_t PairIndex(NodeId src, NodeId dst) const {
+    return static_cast<size_t>(src) * static_cast<size_t>(nodes_) + static_cast<size_t>(dst);
+  }
+
+  void TransmitAttempt(SenderPair& sp, uint64_t seq);
+  void OnTimeout(NodeId src, NodeId dst, uint64_t seq);
+  void SendAck(const WireFrame& data_frame);
+
+  Engine* engine_;
+  Network* network_;
+  ReliabilityConfig config_;
+  int nodes_;
+  std::vector<SenderPair> senders_;     // Indexed by PairIndex(src, dst).
+  std::vector<ReceiverPair> receivers_; // Indexed by PairIndex(src, dst).
+};
+
+}  // namespace hlrc
+
+#endif  // SRC_NET_RELIABLE_CHANNEL_H_

@@ -5,7 +5,9 @@
 #include <cstdint>
 
 #include "src/common/types.h"
+#include "src/fault/fault_plan.h"
 #include "src/net/network.h"
+#include "src/net/reliable_channel.h"
 #include "src/proto/cost_model.h"
 #include "src/proto/options.h"
 
@@ -18,10 +20,19 @@ struct SimConfig {
   int64_t page_size = 4096;
   // Size of the global shared address space (per-node mirror allocation).
   int64_t shared_bytes = 64ll << 20;
+  // Root seed of the run, echoed in reports for reproducibility. Consumers
+  // (application inputs, the fault injector) derive their own seeds from it
+  // unless configured explicitly.
+  uint64_t seed = 42;
 
   ProtocolOptions protocol;
   NetworkConfig network;
   CostModel costs;
+  // Fault injection (docs/FAULTS.md). An Active() plan makes the fabric
+  // lossy; pair it with `reliability.enabled` unless the point of the run is
+  // to watch a protocol deadlock.
+  FaultPlan fault;
+  ReliabilityConfig reliability;
 };
 
 }  // namespace hlrc

@@ -94,6 +94,16 @@ System::System(const SimConfig& config) : config_(config) {
   HLRC_CHECK(config_.nodes > 0);
   engine_ = std::make_unique<Engine>();
   network_ = std::make_unique<Network>(engine_.get(), config_.nodes, config_.network);
+  if (config_.fault.Active()) {
+    HLRC_CHECK_MSG(config_.fault.dup_prob == 0 || config_.reliability.enabled,
+                   "duplicate injection needs the reliable channel's dedup "
+                   "(set reliability.enabled)");
+    fault_ = std::make_unique<FaultInjector>(config_.fault);
+    network_->SetFaultHook(fault_.get());
+  }
+  if (config_.reliability.enabled) {
+    network_->EnableReliableDelivery(config_.reliability);
+  }
   space_ = std::make_unique<SharedSpace>(config_.shared_bytes, config_.page_size);
 
   nodes_.resize(static_cast<size_t>(config_.nodes));
@@ -133,6 +143,7 @@ TraceLog* System::EnableTracing(size_t capacity) {
   for (Node& node : nodes_) {
     node.proto->SetTraceLog(trace_.get());
   }
+  network_->SetTraceLog(trace_.get());
   return trace_.get();
 }
 
@@ -250,6 +261,10 @@ NodeReport RunReport::Totals() const {
     total.traffic.msgs_received += r.traffic.msgs_received;
     total.traffic.update_bytes_sent += r.traffic.update_bytes_sent;
     total.traffic.protocol_bytes_sent += r.traffic.protocol_bytes_sent;
+    total.traffic.msgs_retransmitted += r.traffic.msgs_retransmitted;
+    total.traffic.msgs_dropped_in_net += r.traffic.msgs_dropped_in_net;
+    total.traffic.msgs_duplicated_dropped += r.traffic.msgs_duplicated_dropped;
+    total.traffic.acks_sent += r.traffic.acks_sent;
     for (size_t i = 0; i < r.traffic.msgs_by_type.size(); ++i) {
       total.traffic.msgs_by_type[i] += r.traffic.msgs_by_type[i];
     }

@@ -20,6 +20,7 @@
 #include <vector>
 
 #include "src/common/types.h"
+#include "src/fault/fault_injector.h"
 #include "src/mem/page_table.h"
 #include "src/mem/shared_space.h"
 #include "src/net/network.h"
@@ -135,6 +136,8 @@ class System {
   const SimConfig& config() const { return config_; }
   SharedSpace& space() { return *space_; }
   Engine& engine() { return *engine_; }
+  // Non-null when config.fault is active (injected-fault counters).
+  const FaultInjector* fault_injector() const { return fault_.get(); }
 
   // Enables structured protocol tracing (see src/trace). Must be called
   // before Run. Returns the log for inspection/dumping after the run.
@@ -168,6 +171,7 @@ class System {
   SimConfig config_;
   std::unique_ptr<TraceLog> trace_;
   std::unique_ptr<Engine> engine_;
+  std::unique_ptr<FaultInjector> fault_;  // Outlives network_ (installed as its hook).
   std::unique_ptr<Network> network_;
   std::unique_ptr<SharedSpace> space_;
   std::vector<Node> nodes_;

@@ -36,6 +36,12 @@ const char* TraceEventName(TraceEvent e) {
       return "gc-start";
     case TraceEvent::kGcEnd:
       return "gc-end";
+    case TraceEvent::kNetDrop:
+      return "net-drop";
+    case TraceEvent::kNetRetransmit:
+      return "net-retransmit";
+    case TraceEvent::kNetDupDrop:
+      return "net-dup-drop";
     case TraceEvent::kCount:
       break;
   }

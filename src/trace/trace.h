@@ -33,7 +33,10 @@ enum class TraceEvent : uint8_t {
   kIntervalClose = 11, // arg0 = interval id, arg1 = dirty pages.
   kGcStart = 12,
   kGcEnd = 13,
-  kCount = 14,
+  kNetDrop = 14,        // arg0 = msg type, arg1 = dst (recorded on src).
+  kNetRetransmit = 15,  // arg0 = msg type, arg1 = dst (recorded on src).
+  kNetDupDrop = 16,     // arg0 = msg type, arg1 = src (recorded on dst).
+  kCount = 17,
 };
 
 const char* TraceEventName(TraceEvent e);

@@ -1,0 +1,186 @@
+#include "src/net/reliable_channel.h"
+
+#include <gtest/gtest.h>
+
+#include <deque>
+#include <vector>
+
+#include "src/net/network.h"
+#include "src/sim/engine.h"
+
+namespace hlrc {
+namespace {
+
+// Replays a scripted decision per physical transmission — data frames,
+// retransmissions and acks alike, in Network::Transmit order. All-clear once
+// the script runs dry.
+class ScriptedHook : public FaultHook {
+ public:
+  void Push(FaultDecision d) { script_.push_back(d); }
+
+  FaultDecision OnTransmit(NodeId, NodeId, MsgType, SimTime, bool) override {
+    if (script_.empty()) {
+      return {};
+    }
+    FaultDecision d = script_.front();
+    script_.pop_front();
+    return d;
+  }
+
+ private:
+  std::deque<FaultDecision> script_;
+};
+
+// Drops every frame, forever; only the retry budget stops the sender.
+class BlackHoleHook : public FaultHook {
+ public:
+  FaultDecision OnTransmit(NodeId, NodeId, MsgType, SimTime, bool) override {
+    FaultDecision d;
+    d.drop = true;
+    return d;
+  }
+};
+
+Message MakeMsg(NodeId src, NodeId dst, MsgType type = MsgType::kPageRequest,
+                int64_t proto = 16) {
+  Message m;
+  m.src = src;
+  m.dst = dst;
+  m.type = type;
+  m.protocol_bytes = proto;
+  return m;
+}
+
+// Builds a 2-node network with reliable delivery and a scripted hook; node 1
+// records the types it receives in delivery order.
+struct Rig {
+  Rig(SimTime retry_timeout, int max_retries, FaultHook* fault_hook)
+      : net(&engine, 2, NetworkConfig{}) {
+    ReliabilityConfig rc;
+    rc.enabled = true;
+    rc.retry_timeout = retry_timeout;
+    rc.max_retries = max_retries;
+    net.EnableReliableDelivery(rc);
+    net.SetFaultHook(fault_hook);
+    net.SetHandler(0, [this](Message m) { received0.push_back(m.type); });
+    net.SetHandler(1, [this](Message m) { received1.push_back(m.type); });
+  }
+
+  Engine engine;
+  Network net;
+  std::vector<MsgType> received0;
+  std::vector<MsgType> received1;
+};
+
+TEST(ReliableChannel, RetransmitRecoversDroppedFrame) {
+  ScriptedHook hook;
+  FaultDecision drop;
+  drop.drop = true;
+  hook.Push(drop);  // First physical transmission of the data frame is lost.
+  Rig rig(Micros(500), 12, &hook);
+
+  rig.net.Send(MakeMsg(0, 1));
+  rig.engine.Run();
+
+  ASSERT_EQ(rig.received1.size(), 1u);
+  EXPECT_EQ(rig.received1[0], MsgType::kPageRequest);
+  EXPECT_EQ(rig.net.NodeStats(0).msgs_retransmitted, 1);
+  EXPECT_EQ(rig.net.NodeStats(0).msgs_dropped_in_net, 1);
+  EXPECT_EQ(rig.net.NodeStats(1).acks_sent, 1);
+  EXPECT_EQ(rig.net.reliable_channel()->UnackedCount(), 0);
+}
+
+TEST(ReliableChannel, ReceiverDropsInjectedDuplicate) {
+  ScriptedHook hook;
+  FaultDecision dup;
+  dup.duplicate = true;
+  hook.Push(dup);  // The data frame is delivered twice.
+  Rig rig(Micros(500), 12, &hook);
+
+  rig.net.Send(MakeMsg(0, 1));
+  rig.engine.Run();
+
+  ASSERT_EQ(rig.received1.size(), 1u);  // Handler ran exactly once.
+  EXPECT_EQ(rig.net.NodeStats(1).msgs_duplicated_dropped, 1);
+  // Every physical data arrival is (re-)acked, duplicates included.
+  EXPECT_EQ(rig.net.NodeStats(1).acks_sent, 2);
+  EXPECT_EQ(rig.net.NodeStats(0).msgs_retransmitted, 0);
+}
+
+TEST(ReliableChannel, LostAckTriggersRetransmitAndDedup) {
+  ScriptedHook hook;
+  hook.Push({});  // Data frame arrives fine.
+  FaultDecision drop;
+  drop.drop = true;
+  hook.Push(drop);  // Its ack is lost.
+  Rig rig(Micros(500), 12, &hook);
+
+  rig.net.Send(MakeMsg(0, 1));
+  rig.engine.Run();
+
+  ASSERT_EQ(rig.received1.size(), 1u);  // Delivered exactly once to the protocol.
+  EXPECT_EQ(rig.net.NodeStats(0).msgs_retransmitted, 1);
+  EXPECT_EQ(rig.net.NodeStats(1).msgs_duplicated_dropped, 1);
+  EXPECT_EQ(rig.net.NodeStats(1).acks_sent, 2);
+  EXPECT_EQ(rig.net.reliable_channel()->UnackedCount(), 0);
+}
+
+TEST(ReliableChannel, DelayedFrameIsHeldForInOrderDelivery) {
+  ScriptedHook hook;
+  FaultDecision late;
+  late.extra_delay = Millis(5);  // First frame physically arrives after the second.
+  hook.Push(late);
+  // Long retry timeout so the delay does not also trigger a (harmless but
+  // counter-visible) spurious retransmit.
+  Rig rig(Millis(20), 12, &hook);
+
+  rig.net.Send(MakeMsg(0, 1, MsgType::kPageRequest));
+  rig.net.Send(MakeMsg(0, 1, MsgType::kPageReply));
+  rig.engine.Run();
+
+  // FIFO per (src, dst) pair is restored despite the physical reordering.
+  ASSERT_EQ(rig.received1.size(), 2u);
+  EXPECT_EQ(rig.received1[0], MsgType::kPageRequest);
+  EXPECT_EQ(rig.received1[1], MsgType::kPageReply);
+  EXPECT_EQ(rig.net.NodeStats(0).msgs_retransmitted, 0);
+  EXPECT_EQ(rig.net.NodeStats(1).msgs_duplicated_dropped, 0);
+}
+
+TEST(ReliableChannel, CleanFabricAddsOnlyAcks) {
+  ScriptedHook hook;  // Empty script: no faults at all.
+  Rig rig(Micros(500), 12, &hook);
+
+  rig.net.Send(MakeMsg(0, 1));
+  rig.net.Send(MakeMsg(1, 0, MsgType::kPageReply));
+  rig.engine.Run();
+
+  EXPECT_EQ(rig.received1.size(), 1u);
+  EXPECT_EQ(rig.received0.size(), 1u);
+  EXPECT_EQ(rig.net.TotalStats().msgs_retransmitted, 0);
+  EXPECT_EQ(rig.net.TotalStats().msgs_duplicated_dropped, 0);
+  EXPECT_EQ(rig.net.TotalStats().acks_sent, 2);
+}
+
+TEST(ReliableChannelDeathTest, RetryBudgetExhaustionIsFatalNotAHang) {
+  ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+  EXPECT_DEATH(
+      {
+        Engine engine;
+        Network net(&engine, 2, NetworkConfig{});
+        ReliabilityConfig rc;
+        rc.enabled = true;
+        rc.retry_timeout = Micros(100);
+        rc.max_retries = 3;
+        net.EnableReliableDelivery(rc);
+        BlackHoleHook black_hole;
+        net.SetFaultHook(&black_hole);
+        net.SetHandler(0, [](Message) {});
+        net.SetHandler(1, [](Message) {});
+        net.Send(MakeMsg(0, 1));
+        engine.Run();
+      },
+      "retry budget exhausted");
+}
+
+}  // namespace
+}  // namespace hlrc

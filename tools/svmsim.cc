@@ -21,13 +21,29 @@
 //   --trace=FILE.json     dump a chrome://tracing file
 //   --per-node            print the per-node breakdown table
 //   --no-verify           skip result verification
+//   --seed=N              root seed (application inputs + fault injector)
+//
+// Fault injection & reliable delivery (docs/FAULTS.md):
+//   --fault-drop=P        drop each message with probability P
+//   --fault-dup=P         duplicate each message with probability P
+//   --fault-delay=P       delay each message with probability P
+//   --fault-corrupt=P     corrupt-and-drop each message with probability P
+//   --fault-seed=N        injector seed (default: derived from --seed)
+//   --partition=a-b@t0..t1  partition node lists a and b during [t0,t1) ms
+//                           (repeatable; empty b = rest of the machine)
+//   --reliable            enable ack/retransmit delivery (implied by faults)
+//   --retry-timeout=US    retransmit timeout in microseconds (default 10000)
+//   --retry-max=N         retransmissions per message before aborting
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <string>
+#include <vector>
 
 #include "src/apps/app.h"
+#include "src/common/rng.h"
 #include "src/common/table.h"
+#include "src/fault/fault_plan.h"
 #include "src/svm/system.h"
 
 namespace hlrc {
@@ -46,6 +62,13 @@ struct Options {
   bool migrate_homes = false;
   bool per_node = false;
   bool verify = true;
+  bool seed_set = false;
+  uint64_t seed = 42;
+  FaultPlan fault;
+  bool fault_seed_set = false;
+  bool reliable = false;
+  SimTime retry_timeout = Micros(10000);
+  int retry_max = 12;
 };
 
 [[noreturn]] void Usage() {
@@ -53,6 +76,9 @@ struct Options {
                "usage: svmsim --app=NAME --protocol=NAME [--nodes=N] [--scale=S]\n"
                "              [--page-size=B] [--home=P] [--diff-policy=P]\n"
                "              [--gc-threshold=B] [--trace=FILE] [--per-node] [--no-verify]\n"
+               "              [--seed=N] [--fault-drop=P] [--fault-dup=P] [--fault-delay=P]\n"
+               "              [--fault-corrupt=P] [--fault-seed=N] [--partition=a-b@t0..t1]\n"
+               "              [--reliable] [--retry-timeout=US] [--retry-max=N]\n"
                "       svmsim --list\n");
   std::exit(2);
 }
@@ -103,6 +129,37 @@ Options Parse(int argc, char** argv) {
       o.gc_threshold = std::atoll(val("--gc-threshold=").c_str());
     } else if (arg.rfind("--trace=", 0) == 0) {
       o.trace_path = val("--trace=");
+    } else if (arg.rfind("--seed=", 0) == 0) {
+      o.seed = static_cast<uint64_t>(std::strtoull(val("--seed=").c_str(), nullptr, 10));
+      o.seed_set = true;
+    } else if (arg.rfind("--fault-drop=", 0) == 0) {
+      o.fault.drop_prob = std::atof(val("--fault-drop=").c_str());
+    } else if (arg.rfind("--fault-dup=", 0) == 0) {
+      o.fault.dup_prob = std::atof(val("--fault-dup=").c_str());
+    } else if (arg.rfind("--fault-delay=", 0) == 0) {
+      o.fault.delay_prob = std::atof(val("--fault-delay=").c_str());
+    } else if (arg.rfind("--fault-corrupt=", 0) == 0) {
+      o.fault.corrupt_prob = std::atof(val("--fault-corrupt=").c_str());
+    } else if (arg.rfind("--fault-seed=", 0) == 0) {
+      o.fault.seed =
+          static_cast<uint64_t>(std::strtoull(val("--fault-seed=").c_str(), nullptr, 10));
+      o.fault_seed_set = true;
+    } else if (arg.rfind("--partition=", 0) == 0) {
+      PartitionWindow w;
+      std::string err;
+      if (!ParsePartitionSpec(val("--partition="), &w, &err)) {
+        std::fprintf(stderr, "bad --partition spec: %s\n", err.c_str());
+        Usage();
+      }
+      o.fault.partitions.push_back(std::move(w));
+    } else if (arg == "--reliable") {
+      o.reliable = true;
+    } else if (arg.rfind("--retry-timeout=", 0) == 0) {
+      o.retry_timeout = Micros(std::atoll(val("--retry-timeout=").c_str()));
+      o.reliable = true;
+    } else if (arg.rfind("--retry-max=", 0) == 0) {
+      o.retry_max = std::atoi(val("--retry-max=").c_str());
+      o.reliable = true;
     } else if (arg == "--migrate-homes") {
       o.migrate_homes = true;
     } else if (arg == "--per-node") {
@@ -124,13 +181,29 @@ int Main(int argc, char** argv) {
   cfg.nodes = o.nodes;
   cfg.page_size = o.page_size;
   cfg.shared_bytes = 256ll << 20;
+  cfg.seed = o.seed;
   cfg.protocol.kind = o.protocol;
   cfg.protocol.home_policy = o.home;
   cfg.protocol.diff_policy = o.diff_policy;
   cfg.protocol.gc_threshold_bytes = o.gc_threshold;
   cfg.protocol.migrate_homes = o.migrate_homes;
 
-  auto app = MakeApp(o.app, o.scale);
+  // One root seed feeds every Rng consumer: application inputs and the fault
+  // injector draw distinct derived seeds, unless overridden explicitly.
+  Rng root(cfg.seed);
+  const uint64_t app_seed = root.NextU64();
+  const uint64_t derived_fault_seed = root.NextU64();
+  cfg.fault = o.fault;
+  if (!o.fault_seed_set) {
+    cfg.fault.seed = derived_fault_seed;
+  }
+  if (o.reliable || cfg.fault.Active()) {
+    cfg.reliability.enabled = true;
+    cfg.reliability.retry_timeout = o.retry_timeout;
+    cfg.reliability.max_retries = o.retry_max;
+  }
+
+  auto app = o.seed_set ? MakeApp(o.app, o.scale, app_seed) : MakeApp(o.app, o.scale);
   System sys(cfg);
   TraceLog* trace = o.trace_path.empty() ? nullptr : sys.EnableTracing();
   app->Setup(sys);
@@ -148,6 +221,22 @@ int Main(int argc, char** argv) {
               o.scale == AppScale::kPaper ? "paper"
                                           : (o.scale == AppScale::kTiny ? "tiny" : "default"),
               static_cast<long long>(o.page_size), HomePolicyName(o.home));
+  char app_seed_str[32] = "builtin";  // No --seed: apps keep their fixed inputs.
+  if (o.seed_set) {
+    std::snprintf(app_seed_str, sizeof(app_seed_str), "%llu",
+                  static_cast<unsigned long long>(app_seed));
+  }
+  std::printf("seed: %llu%s (app=%s, fault=%llu)\n",
+              static_cast<unsigned long long>(cfg.seed), o.seed_set ? "" : " [default]",
+              app_seed_str, static_cast<unsigned long long>(cfg.fault.seed));
+  if (cfg.fault.Active()) {
+    std::printf("faults: %s\n", FaultPlanSummary(cfg.fault).c_str());
+  }
+  if (cfg.reliability.enabled) {
+    std::printf("reliable delivery: timeout=%lldus backoff=%.1f max-retries=%d\n",
+                static_cast<long long>(cfg.reliability.retry_timeout / 1000),
+                cfg.reliability.retry_backoff, cfg.reliability.max_retries);
+  }
   std::printf("verification: %s%s\n\n", verified ? "OK" : "FAILED ",
               verified ? "" : why.c_str());
 
@@ -165,6 +254,12 @@ int Main(int argc, char** argv) {
   summary.AddRow({"Messages", Table::Fmt(totals.traffic.msgs_sent)});
   summary.AddRow({"Update traffic", Table::FmtBytes(totals.traffic.update_bytes_sent)});
   summary.AddRow({"Protocol traffic", Table::FmtBytes(totals.traffic.protocol_bytes_sent)});
+  if (cfg.reliability.enabled || cfg.fault.Active()) {
+    summary.AddRow({"Retransmissions", Table::Fmt(totals.traffic.msgs_retransmitted)});
+    summary.AddRow({"Dropped in net", Table::Fmt(totals.traffic.msgs_dropped_in_net)});
+    summary.AddRow({"Duplicates dropped", Table::Fmt(totals.traffic.msgs_duplicated_dropped)});
+    summary.AddRow({"Acks", Table::Fmt(totals.traffic.acks_sent)});
+  }
   summary.AddSeparator();
   summary.AddRow({"Read misses (avg/node)", Table::Fmt(avg.proto.read_misses)});
   summary.AddRow({"Page fetches (avg/node)", Table::Fmt(avg.proto.page_fetches)});
