@@ -1,0 +1,119 @@
+#include "src/check/oracle.h"
+
+#include <cstdio>
+#include <utility>
+
+#include "src/common/check.h"
+
+namespace hlrc {
+namespace {
+
+constexpr size_t kMaxViolations = 16;
+
+std::string DescribeAccess(const MemoryAccess& a) {
+  char buf[128];
+  std::snprintf(buf, sizeof(buf), "%s node=%d addr=0x%llx value=0x%llx interval=%u t=%lld",
+                a.is_write ? "write" : "read", a.node,
+                static_cast<unsigned long long>(a.addr),
+                static_cast<unsigned long long>(a.value), a.interval,
+                static_cast<long long>(a.when));
+  return buf;
+}
+
+}  // namespace
+
+LrcOracle::LrcOracle(int nodes) : next_seq_(static_cast<size_t>(nodes), 0) {
+  HLRC_CHECK(nodes > 0);
+}
+
+bool LrcOracle::HappensBefore(const Rec& x, const Rec& y) {
+  if (x.a.node == y.a.node) {
+    return x.seq < y.seq;
+  }
+  return y.a.vt.Get(x.a.node) >= x.a.interval;
+}
+
+void LrcOracle::OnAccess(const MemoryAccess& access) {
+  Rec rec;
+  rec.a = access;
+  rec.seq = next_seq_[static_cast<size_t>(access.node)]++;
+  if (access.is_write) {
+    ++writes_recorded_;
+    writes_[access.addr].push_back(std::move(rec));
+    return;
+  }
+  ++reads_checked_;
+  Validate(rec);
+}
+
+void LrcOracle::Validate(const Rec& read) {
+  const auto it = writes_.find(read.a.addr);
+  if (it == writes_.end()) {
+    if (read.a.value != 0) {
+      Report(read, "returned a value never written to this location (corruption)");
+    }
+    return;
+  }
+  const std::vector<Rec>& ws = it->second;
+
+  // The initial zero content: legal while no write to the location
+  // happens-before the read.
+  if (read.a.value == 0) {
+    const Rec* masking = nullptr;
+    for (const Rec& w : ws) {
+      if (w.a.value != 0 && HappensBefore(w, read)) {
+        masking = &w;
+        break;
+      }
+    }
+    if (masking == nullptr) {
+      return;
+    }
+    Report(read, "returned the initial zero, but it is masked by " + DescribeAccess(masking->a));
+    return;
+  }
+
+  // The read is legal if some write of this value is not masked: no other
+  // write to the location is ordered between it and the read.
+  const Rec* candidate = nullptr;
+  const Rec* masked_by = nullptr;
+  for (const Rec& w : ws) {
+    if (w.a.value != read.a.value) {
+      continue;
+    }
+    candidate = &w;
+    masked_by = nullptr;
+    bool masked = false;
+    for (const Rec& w2 : ws) {
+      if (&w2 == &w || w2.a.value == w.a.value) {
+        continue;
+      }
+      if (HappensBefore(w, w2) && HappensBefore(w2, read)) {
+        masked = true;
+        masked_by = &w2;
+        break;
+      }
+    }
+    if (!masked) {
+      return;  // Legal.
+    }
+  }
+  if (candidate == nullptr) {
+    Report(read, "returned a value never written to this location (corruption)");
+    return;
+  }
+  Report(read, "returned stale " + DescribeAccess(candidate->a) + ", which is masked by " +
+                   DescribeAccess(masked_by->a));
+}
+
+void LrcOracle::Report(const Rec& read, std::string description) {
+  if (violations_.size() >= kMaxViolations) {
+    return;
+  }
+  OracleViolation v;
+  v.read = read.a;
+  v.description = DescribeAccess(read.a) + " " + std::move(description);
+  violations_.push_back(std::move(v));
+}
+
+}  // namespace hlrc

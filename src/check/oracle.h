@@ -1,0 +1,75 @@
+// Release-consistency oracle.
+//
+// An LrcOracle observes every shared word access of a run (via
+// System::SetAccessObserver) and validates, online, that each read returns a
+// value lazy release consistency permits (docs/CHECKING.md):
+//
+//   * Every access carries its node's vector timestamp and its open interval
+//     id i = vt.Get(node) + 1 (writes performed now are published under i
+//     when the interval closes at the next release/barrier).
+//   * Happens-before between accesses a and b:
+//       - same node: program order;
+//       - different nodes: b's vector timestamp covers a's interval,
+//         b.vt.Get(a.node) >= a.interval.
+//   * A read r of location x may return the value of write w to x iff no
+//     other write w' to x is ordered between them (w hb w' hb r). The
+//     initial zero content acts as a write that precedes everything, so a
+//     zero read is legal only while no write to x happens-before r.
+//     Reading a write *concurrent* with r is legal (a data race under RC);
+//     reading a happens-before-masked value — a stale page copy, a lost
+//     diff, a missed invalidation — is not.
+//
+// Litmus programs (src/apps/litmus.h) give every write a globally unique
+// value per location, so value equality identifies the originating write
+// exactly. A read of a value never written to its location is reported as
+// corruption.
+#ifndef SRC_CHECK_ORACLE_H_
+#define SRC_CHECK_ORACLE_H_
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "src/proto/observer.h"
+
+namespace hlrc {
+
+struct OracleViolation {
+  MemoryAccess read;       // The offending read.
+  std::string description; // Human-readable diagnosis.
+};
+
+class LrcOracle : public AccessObserver {
+ public:
+  explicit LrcOracle(int nodes);
+
+  void OnAccess(const MemoryAccess& access) override;
+
+  bool ok() const { return violations_.empty(); }
+  const std::vector<OracleViolation>& violations() const { return violations_; }
+  int64_t reads_checked() const { return reads_checked_; }
+  int64_t writes_recorded() const { return writes_recorded_; }
+
+ private:
+  struct Rec {
+    MemoryAccess a;
+    uint64_t seq = 0;  // Per-node program order.
+  };
+
+  static bool HappensBefore(const Rec& x, const Rec& y);
+  void Validate(const Rec& read);
+  void Report(const Rec& read, std::string description);
+
+  // All writes per location, in simulated-time order. Litmus-scale histories
+  // keep the per-read masking scan (O(writes-to-x squared)) cheap.
+  std::unordered_map<GlobalAddr, std::vector<Rec>> writes_;
+  std::vector<uint64_t> next_seq_;  // Per-node program-order counter.
+  std::vector<OracleViolation> violations_;
+  int64_t reads_checked_ = 0;
+  int64_t writes_recorded_ = 0;
+};
+
+}  // namespace hlrc
+
+#endif  // SRC_CHECK_ORACLE_H_

@@ -129,6 +129,11 @@ void Network::Transmit(const std::shared_ptr<WireFrame>& frame, bool retransmit)
   SimTime head_arrival = departure + config_.base_latency +
                          mesh_.Hops(frame->src, frame->dst) * config_.per_hop +
                          fault.extra_delay;
+  if (jitter_hook_ != nullptr) {
+    const SimTime jitter = jitter_hook_(frame->src, frame->dst, frame->type);
+    HLRC_CHECK(jitter >= 0);
+    head_arrival += jitter;
+  }
 
   if (config_.model_link_contention && frame->src != frame->dst) {
     // A wormhole route holds all its links for the duration of the transfer;

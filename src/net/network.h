@@ -85,6 +85,17 @@ class Network {
   // nullptr to remove. The hook must outlive all Send activity.
   void SetFaultHook(FaultHook* hook) { fault_hook_ = hook; }
 
+  // Installs a hook consulted on every physical transmission that returns an
+  // extra head-arrival delay (>= 0), composing with fault-injection delays.
+  // Receiving-NIC serialization still delivers frames to one destination in
+  // global Transmit order, so per-pair FIFO (which the protocols rely on) is
+  // preserved; jitter perturbs the relative order of deliveries at
+  // *different* destinations, which is what the schedule-exploration harness
+  // (src/check) uses to race protocol messages against each other. Pass
+  // nullptr to remove.
+  using DeliveryJitterHook = std::function<SimTime(NodeId src, NodeId dst, MsgType type)>;
+  void SetDeliveryJitterHook(DeliveryJitterHook hook) { jitter_hook_ = std::move(hook); }
+
   // Enables the reliable-delivery layer. Must be called before any Send.
   void EnableReliableDelivery(const ReliabilityConfig& config);
 
@@ -122,6 +133,7 @@ class Network {
   std::vector<SimTime> link_free_;
   std::vector<TrafficStats> stats_;
   FaultHook* fault_hook_ = nullptr;
+  DeliveryJitterHook jitter_hook_;
   TraceLog* trace_ = nullptr;
   std::unique_ptr<ReliableChannel> channel_;
   bool sent_anything_ = false;

@@ -290,7 +290,15 @@ void HlrcProtocol::HandleDiffFlush(NodeId writer, PageId page, uint32_t interval
   HLRC_TRACE("[%lld] home %d: apply flush page=%d writer=%d id=%u bytes=%lld",
              (long long)engine()->Now(), self(), page, writer, interval,
              (long long)diff.DataBytes());
-  ApplyDiff(diff, pages().PageData(page), pages().page_size());
+  if (env().options->mutation == TestMutation::kHlrcSkipDiffApply && !mutation_fired_ &&
+      writer != self()) {
+    // Seeded bug (TestMutation): lose this diff's data but keep all the
+    // bookkeeping below, so the home serves a stale master copy without ever
+    // blocking a fetch. The consistency oracle must catch the stale reads.
+    mutation_fired_ = true;
+  } else {
+    ApplyDiff(diff, pages().PageData(page), pages().page_size());
+  }
   ++stats_.diffs_applied;
   SetApplied(page, writer, interval);
   WakeLocalFaultIfReady(page);

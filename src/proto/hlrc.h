@@ -105,6 +105,9 @@ class HlrcProtocol : public ProtocolNode {
   // Diffs created but not yet flushed (co-processor still working). Writers
   // discard diffs the moment they are sent (paper §2.3).
   int64_t inflight_diff_bytes_ = 0;
+
+  // TestMutation::kHlrcSkipDiffApply fires once per run.
+  bool mutation_fired_ = false;
 };
 
 // Payloads.

@@ -87,9 +87,17 @@ void LrcProtocol::MarkDiffReady(PageId page, uint32_t id) {
 // Write notices.
 
 bool LrcProtocol::OnWriteNotice(const IntervalRecord& rec, PageId page) {
+  PageState& st = pages().State(page);
+  if (env().options->mutation == TestMutation::kLrcSkipInvalidate && !mutation_fired_ &&
+      st.prot != PageProt::kNone) {
+    // Seeded bug (TestMutation): drop the first invalidating write notice
+    // entirely — the node keeps reading its stale mapped copy and never
+    // fetches this interval's diff. The consistency oracle must catch it.
+    mutation_fired_ = true;
+    return false;
+  }
   pending_[page].push_back(PendingWn{rec.writer, rec.id, rec.vt});
   ++pending_count_;
-  PageState& st = pages().State(page);
   const bool was_mapped = st.prot != PageProt::kNone;
   st.prot = PageProt::kNone;
   return was_mapped;

@@ -109,6 +109,9 @@ class LrcProtocol : public ProtocolNode {
   // GC state (node side): page -> validator assignments of the current GC.
   std::map<PageId, NodeId> gc_map_;
 
+  // TestMutation::kLrcSkipInvalidate fires once per run.
+  bool mutation_fired_ = false;
+
   // GC state (manager side).
   struct GcCoord {
     int infos_pending = 0;

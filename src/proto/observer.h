@@ -1,0 +1,44 @@
+// Shared-memory access observation for correctness checking.
+//
+// A consistency checker (src/check) registers an AccessObserver with
+// svm::System; the observed-access API (NodeContext::LoadWord / StoreWord)
+// then reports every shared read and write together with the node's vector
+// timestamp at the access. The observer sees accesses in simulated-time
+// order, which lets an online oracle validate each read the moment it
+// happens.
+//
+// The interval id of an access is the node's *open* interval,
+// vt.Get(node) + 1: writes performed now are published under that id when
+// the interval closes at the next release/barrier, so a remote access b has
+// seen access a exactly when b's vector timestamp covers a's interval.
+#ifndef SRC_PROTO_OBSERVER_H_
+#define SRC_PROTO_OBSERVER_H_
+
+#include <cstdint>
+
+#include "src/common/types.h"
+#include "src/proto/vector_clock.h"
+
+namespace hlrc {
+
+struct MemoryAccess {
+  NodeId node = kInvalidNode;
+  GlobalAddr addr = 0;
+  uint64_t value = 0;
+  bool is_write = false;
+  // The node's open interval id at the access: vt.Get(node) + 1.
+  uint32_t interval = 0;
+  // The node's vector timestamp at the access (intervals it has acquired).
+  VectorClock vt;
+  SimTime when = 0;
+};
+
+class AccessObserver {
+ public:
+  virtual ~AccessObserver() = default;
+  virtual void OnAccess(const MemoryAccess& access) = 0;
+};
+
+}  // namespace hlrc
+
+#endif  // SRC_PROTO_OBSERVER_H_

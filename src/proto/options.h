@@ -48,6 +48,23 @@ enum class DiffPolicy : int {
 };
 const char* DiffPolicyName(DiffPolicy p);
 
+// Intentionally-broken protocol variants, used ONLY by the checker's
+// mutation regression tests (tests/test_check.cc, svmcheck --mutation) to
+// prove the consistency oracle catches real protocol bugs. Each mutation
+// silently corrupts one protocol action exactly once per run, in a way that
+// cannot hang the run — only return stale data.
+enum class TestMutation : int {
+  kNone = 0,
+  // HLRC/AURC: the home skips applying the first remote diff flush but still
+  // advances its applied-flush timestamps, so fetches are served from a
+  // stale master copy (lost update at the home).
+  kHlrcSkipDiffApply = 1,
+  // LRC/OLRC: the first write notice that would invalidate a mapped page is
+  // dropped, so the node keeps reading its stale copy (lost invalidation).
+  kLrcSkipInvalidate = 2,
+};
+const char* TestMutationName(TestMutation m);
+
 struct ProtocolOptions {
   ProtocolKind kind = ProtocolKind::kHlrc;
   HomePolicy home_policy = HomePolicy::kBlock;
@@ -68,6 +85,9 @@ struct ProtocolOptions {
   int64_t gc_threshold_bytes = 4ll << 20;
   // Diff granularity in bytes (4 or 8).
   int diff_word_bytes = 8;
+  // Test-only fault seeding (see TestMutation above). Never set outside the
+  // checker; kNone leaves every protocol untouched.
+  TestMutation mutation = TestMutation::kNone;
 };
 
 }  // namespace hlrc

@@ -47,6 +47,18 @@ const char* HomePolicyName(HomePolicy p) {
   return "?";
 }
 
+const char* TestMutationName(TestMutation m) {
+  switch (m) {
+    case TestMutation::kNone:
+      return "none";
+    case TestMutation::kHlrcSkipDiffApply:
+      return "hlrc-skip-diff-apply";
+    case TestMutation::kLrcSkipInvalidate:
+      return "lrc-skip-invalidate";
+  }
+  return "?";
+}
+
 ProtocolNode::ProtocolNode(const Env& env)
     : vt_(env.nodes),
       env_(env),

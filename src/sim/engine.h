@@ -41,8 +41,20 @@ class Engine {
     HLRC_CHECK(t >= now_);
     const EventId id = next_id_++;
     pending_.emplace(id, std::move(fn));
-    queue_.push(QEntry{t, id});
+    const uint64_t tiebreak = tiebreaker_ ? tiebreaker_() : 0;
+    queue_.push(QEntry{t, tiebreak, id});
     return id;
+  }
+
+  // Installs a hook consulted once per scheduled event that chooses its rank
+  // among simultaneous events: equal-time events run in ascending
+  // (tiebreak, insertion-order). With no hook (or a hook returning a
+  // constant) the engine keeps its FIFO order, so production runs are
+  // unaffected; the schedule-exploration harness (src/check) installs a
+  // seeded random hook to permute runnable-task order. Pass nullptr to
+  // remove.
+  void SetTieBreaker(std::function<uint64_t()> tiebreaker) {
+    tiebreaker_ = std::move(tiebreaker);
   }
 
   // Cancels a previously scheduled event. Cancelling an event that already
@@ -110,11 +122,16 @@ class Engine {
  private:
   struct QEntry {
     SimTime time;
+    uint64_t tiebreak;  // 0 unless a tiebreaker hook is installed.
     EventId id;
-    // Later ids run later at equal time: FIFO among simultaneous events.
+    // Later ids run later at equal (time, tiebreak): FIFO among simultaneous
+    // events.
     bool operator>(const QEntry& o) const {
       if (time != o.time) {
         return time > o.time;
+      }
+      if (tiebreak != o.tiebreak) {
+        return tiebreak > o.tiebreak;
       }
       return id > o.id;
     }
@@ -125,6 +142,7 @@ class Engine {
   int64_t events_processed_ = 0;
   std::priority_queue<QEntry, std::vector<QEntry>, std::greater<QEntry>> queue_;
   std::unordered_map<EventId, std::function<void()>> pending_;
+  std::function<uint64_t()> tiebreaker_;
 };
 
 }  // namespace hlrc

@@ -83,6 +83,43 @@ std::byte* NodeContext::RawPtr(GlobalAddr addr) const {
   return system_->nodes_[static_cast<size_t>(id_)].pages->AddrData(addr);
 }
 
+namespace {
+void ObserveAccess(System* sys, const ProtocolNode& proto, NodeId node, GlobalAddr addr,
+                   uint64_t value, bool is_write, AccessObserver* observer) {
+  if (observer == nullptr) {
+    return;
+  }
+  MemoryAccess a;
+  a.node = node;
+  a.addr = addr;
+  a.value = value;
+  a.is_write = is_write;
+  a.vt = proto.vt();
+  a.interval = a.vt.Get(node) + 1;
+  a.when = sys->engine().Now();
+  observer->OnAccess(a);
+}
+}  // namespace
+
+Task<uint64_t> NodeContext::LoadWord(GlobalAddr addr) {
+  HLRC_CHECK(addr % 8 == 0);
+  co_await Read(addr, 8);
+  // No suspension between the grant, the load and the observation: the value
+  // and the vector timestamp belong to the same instant.
+  const uint64_t value = *Ptr<const uint64_t>(addr);
+  ObserveAccess(system_, *system_->nodes_[static_cast<size_t>(id_)].proto, id_, addr, value,
+                /*is_write=*/false, system_->observer_);
+  co_return value;
+}
+
+Task<void> NodeContext::StoreWord(GlobalAddr addr, uint64_t value) {
+  HLRC_CHECK(addr % 8 == 0);
+  co_await Write(addr, 8);
+  *Ptr<uint64_t>(addr) = value;
+  ObserveAccess(system_, *system_->nodes_[static_cast<size_t>(id_)].proto, id_, addr, value,
+                /*is_write=*/true, system_->observer_);
+}
+
 void NodeContext::SnapshotPhase(int phase) {
   system_->report_.phases[{phase, id_}] = system_->SnapshotNode(id_);
 }

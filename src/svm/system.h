@@ -24,6 +24,7 @@
 #include "src/mem/page_table.h"
 #include "src/mem/shared_space.h"
 #include "src/net/network.h"
+#include "src/proto/observer.h"
 #include "src/proto/protocol.h"
 #include "src/sim/engine.h"
 #include "src/sim/processor.h"
@@ -78,6 +79,15 @@ class NodeContext {
   T* Ptr(GlobalAddr addr) const {
     return reinterpret_cast<T*>(RawPtr(addr));
   }
+
+  // Observed single-word accesses: grant access, perform the load/store on
+  // this node's copy, and report the access (with the node's current vector
+  // timestamp) to the System's AccessObserver, if any. The litmus programs
+  // (src/apps/litmus.h) route every checked access through these so the
+  // consistency oracle sees the exact value each read returned. `addr` must
+  // be 8-byte aligned.
+  Task<uint64_t> LoadWord(GlobalAddr addr);
+  Task<void> StoreWord(GlobalAddr addr, uint64_t value);
 
   // Snapshots this node's statistics under `phase` (used for the paper's
   // Figure 4 inter-barrier windows).
@@ -136,6 +146,7 @@ class System {
   const SimConfig& config() const { return config_; }
   SharedSpace& space() { return *space_; }
   Engine& engine() { return *engine_; }
+  Network& network() { return *network_; }
   // Non-null when config.fault is active (injected-fault counters).
   const FaultInjector* fault_injector() const { return fault_.get(); }
 
@@ -143,6 +154,11 @@ class System {
   // before Run. Returns the log for inspection/dumping after the run.
   TraceLog* EnableTracing(size_t capacity = 1 << 20);
   TraceLog* trace() { return trace_.get(); }
+
+  // Registers an observer notified of every access made through
+  // NodeContext::LoadWord / StoreWord (consistency checking; src/check).
+  // Pass nullptr to remove. The observer must outlive Run.
+  void SetAccessObserver(AccessObserver* observer) { observer_ = observer; }
 
   // Runs `program` on every node to completion. Aborts with a diagnostic if
   // the programs deadlock (event queue drained with unfinished programs).
@@ -176,6 +192,7 @@ class System {
   std::unique_ptr<SharedSpace> space_;
   std::vector<Node> nodes_;
   RunReport report_;
+  AccessObserver* observer_ = nullptr;
   bool ran_ = false;
 };
 

@@ -1,0 +1,91 @@
+// Golden determinism test: the simulator must produce bit-identical summary
+// statistics for a fixed configuration, run to run and commit to commit.
+//
+// A Table-2-style summary (virtual time plus the operation/traffic totals
+// behind the paper's tables) is pinned for the four protocol families on 8
+// nodes to tests/golden/summary_8nodes.txt. Any change to scheduling,
+// protocol logic, cost model or network timing that alters behavior shows up
+// as a diff of that file — intentional changes are re-pinned with
+//
+//   HLRC_REGEN_GOLDEN=1 ./test_golden_determinism
+//
+// which rewrites the golden in the source tree; review the diff like code.
+// Only integer virtual-time and counter fields are pinned (no floating
+// point), so the file is platform-independent.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "src/apps/app.h"
+
+namespace hlrc {
+namespace {
+
+constexpr int kNodes = 8;
+
+std::string SummaryLine(const std::string& app_name, ProtocolKind kind) {
+  std::unique_ptr<App> app = MakeApp(app_name, AppScale::kTiny);
+  SimConfig cfg;
+  cfg.nodes = kNodes;
+  cfg.protocol.kind = kind;
+  const AppRunResult r = RunApp(*app, cfg);
+  EXPECT_TRUE(r.verified) << app_name << " under " << ProtocolName(kind) << ": " << r.why;
+
+  const NodeReport t = r.report.Totals();
+  std::ostringstream os;
+  os << app_name << " " << ProtocolName(kind) << " nodes=" << kNodes
+     << " time=" << r.report.total_time << " msgs=" << t.traffic.msgs_sent
+     << " update_bytes=" << t.traffic.update_bytes_sent
+     << " proto_bytes=" << t.traffic.protocol_bytes_sent
+     << " read_misses=" << t.proto.read_misses << " write_faults=" << t.proto.write_faults
+     << " page_fetches=" << t.proto.page_fetches << " diffs=" << t.proto.diffs_created
+     << " applied=" << t.proto.diffs_applied << " locks=" << t.proto.lock_acquires
+     << " barriers=" << t.proto.barriers << " intervals=" << t.proto.intervals_closed
+     << " invalidations=" << t.proto.pages_invalidated
+     << " proto_mem=" << t.proto_mem_highwater;
+  return os.str();
+}
+
+std::string BuildSummary() {
+  const ProtocolKind kProtocols[] = {ProtocolKind::kLrc, ProtocolKind::kOlrc,
+                                     ProtocolKind::kHlrc, ProtocolKind::kOhlrc};
+  std::ostringstream os;
+  for (const std::string& app : {std::string("sor"), std::string("lu")}) {
+    for (ProtocolKind kind : kProtocols) {
+      os << SummaryLine(app, kind) << "\n";
+    }
+  }
+  return os.str();
+}
+
+std::string GoldenPath() { return std::string(HLRC_GOLDEN_DIR) + "/summary_8nodes.txt"; }
+
+TEST(GoldenDeterminism, RepeatedRunsAreBitIdentical) {
+  EXPECT_EQ(SummaryLine("sor", ProtocolKind::kHlrc), SummaryLine("sor", ProtocolKind::kHlrc));
+}
+
+TEST(GoldenDeterminism, SummaryMatchesCheckedInGolden) {
+  const std::string actual = BuildSummary();
+  if (std::getenv("HLRC_REGEN_GOLDEN") != nullptr) {
+    std::ofstream out(GoldenPath());
+    ASSERT_TRUE(out.good()) << "cannot write " << GoldenPath();
+    out << actual;
+    GTEST_SKIP() << "regenerated " << GoldenPath();
+  }
+  std::ifstream in(GoldenPath());
+  ASSERT_TRUE(in.good()) << "missing golden file " << GoldenPath()
+                         << " — run with HLRC_REGEN_GOLDEN=1 to create it";
+  std::stringstream expected;
+  expected << in.rdbuf();
+  EXPECT_EQ(expected.str(), actual)
+      << "summary drifted from " << GoldenPath()
+      << "; if the behavior change is intentional, regenerate with "
+         "HLRC_REGEN_GOLDEN=1 and review the diff";
+}
+
+}  // namespace
+}  // namespace hlrc

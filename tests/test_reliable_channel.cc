@@ -5,6 +5,7 @@
 #include <deque>
 #include <vector>
 
+#include "src/fault/fault_injector.h"
 #include "src/net/network.h"
 #include "src/sim/engine.h"
 
@@ -159,6 +160,59 @@ TEST(ReliableChannel, CleanFabricAddsOnlyAcks) {
   EXPECT_EQ(rig.net.TotalStats().msgs_retransmitted, 0);
   EXPECT_EQ(rig.net.TotalStats().msgs_duplicated_dropped, 0);
   EXPECT_EQ(rig.net.TotalStats().acks_sent, 2);
+}
+
+TEST(ReliableChannel, TransientPartitionHealsWithinRetryBudget) {
+  // A partition window shorter than the retry budget: frames sent into the
+  // window are lost, but a later retransmission lands and delivery resumes.
+  FaultPlan plan;
+  PartitionWindow w;
+  w.group_a = {0};
+  w.group_b = {1};
+  w.start = 0;
+  w.end = Millis(2);
+  plan.partitions.push_back(w);
+  FaultInjector injector(plan);
+  Rig rig(Micros(500), /*max_retries=*/12, &injector);
+
+  rig.net.Send(MakeMsg(0, 1));
+  rig.engine.Run();
+
+  ASSERT_EQ(rig.received1.size(), 1u);
+  EXPECT_GE(rig.net.NodeStats(0).msgs_retransmitted, 1);
+  EXPECT_GE(injector.counters().partition_dropped, 1);
+  EXPECT_EQ(rig.net.reliable_channel()->UnackedCount(), 0);
+}
+
+TEST(ReliableChannelDeathTest, RetryBudgetExhaustedDuringPartitionIsFatalNotAHang) {
+  // A partition that outlives the whole retry budget (4 sends x 100us
+  // timeouts with 2x backoff end well before the window does) must surface
+  // as a fatal diagnostic, not as a silent hang of the blocked protocol.
+  ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+  EXPECT_DEATH(
+      {
+        Engine engine;
+        Network net(&engine, 2, NetworkConfig{});
+        ReliabilityConfig rc;
+        rc.enabled = true;
+        rc.retry_timeout = Micros(100);
+        rc.max_retries = 3;
+        net.EnableReliableDelivery(rc);
+        FaultPlan plan;
+        PartitionWindow w;
+        w.group_a = {0};
+        w.group_b = {1};
+        w.start = 0;
+        w.end = Seconds(1);
+        plan.partitions.push_back(w);
+        FaultInjector injector(plan);
+        net.SetFaultHook(&injector);
+        net.SetHandler(0, [](Message) {});
+        net.SetHandler(1, [](Message) {});
+        net.Send(MakeMsg(0, 1));
+        engine.Run();
+      },
+      "retry budget exhausted");
 }
 
 TEST(ReliableChannelDeathTest, RetryBudgetExhaustionIsFatalNotAHang) {

@@ -1,0 +1,317 @@
+// svmcheck — schedule-exploration driver for the consistency checker
+// (src/check, docs/CHECKING.md).
+//
+// Sweeps seeded schedule perturbations of the litmus programs under the
+// selected protocols, validating every shared read against the LRC oracle.
+// On a violation it shrinks the failing schedule to the shortest chaos
+// prefix that still fails and prints the (seed, decision-limit) pair that
+// replays it.
+//
+//   svmcheck                                  # all litmus x all protocols
+//   svmcheck --litmus=message-passing --protocols=hlrc --seeds=1000
+//   svmcheck --mutation=hlrc-skip-diff-apply  # prove the oracle has teeth
+//   svmcheck --replay-seed=17 --limit=42 --litmus=lock-handoff --protocols=lrc
+//
+// Flags:
+//   --litmus=LIST         comma-separated litmus names, or "all" (default)
+//   --protocols=LIST      lrc | olrc | hlrc | ohlrc | erc | aurc, or "all"
+//                         (default: the four evaluated families
+//                         lrc,erc,hlrc,aurc)
+//   --seeds=N             seeds per (litmus, protocol) pair (default 100)
+//   --seed=N              first seed of the sweep (default 1)
+//   --nodes=N             node count (default 4)
+//   --rounds=N            litmus rounds (default 3)
+//   --page-size=BYTES     SVM page size (default 512)
+//   --max-jitter-us=N     max per-message delivery jitter (default 150; 0 off)
+//   --no-permute          disable the same-time event permutation
+//   --mutation=NAME       none | hlrc-skip-diff-apply | lrc-skip-invalidate
+//   --fault-drop=P        compose with fault injection: drop probability
+//                         (enables the reliable channel automatically)
+//   --stop-on-failure     stop a sweep at its first failing seed
+//   --replay-seed=N       run exactly one seed and print its decision trace
+//   --limit=N             decision limit for --replay-seed (default: unlimited)
+//   --list                print litmus and protocol names
+//
+// Exit status: 0 if every run satisfied the oracle, 1 otherwise.
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <limits>
+#include <string>
+#include <vector>
+
+#include "src/apps/litmus.h"
+#include "src/check/explorer.h"
+
+namespace hlrc {
+namespace {
+
+struct Options {
+  std::vector<std::string> litmus;
+  std::vector<ProtocolKind> protocols;
+  int seeds = 100;
+  uint64_t first_seed = 1;
+  int nodes = 4;
+  int rounds = 3;
+  int64_t page_size = 512;
+  SimTime max_jitter = Micros(150);
+  bool permute = true;
+  TestMutation mutation = TestMutation::kNone;
+  double fault_drop = 0.0;
+  bool stop_on_failure = false;
+  bool replay = false;
+  uint64_t replay_seed = 0;
+  uint64_t limit = std::numeric_limits<uint64_t>::max();
+};
+
+[[noreturn]] void Usage() {
+  std::fprintf(stderr,
+               "usage: svmcheck [--litmus=LIST] [--protocols=LIST] [--seeds=N] [--seed=N]\n"
+               "                [--nodes=N] [--rounds=N] [--page-size=B] [--max-jitter-us=N]\n"
+               "                [--no-permute] [--mutation=NAME] [--fault-drop=P]\n"
+               "                [--stop-on-failure] [--replay-seed=N [--limit=N]]\n"
+               "       svmcheck --list\n");
+  std::exit(2);
+}
+
+const char* ProtocolFlag(ProtocolKind k) {
+  switch (k) {
+    case ProtocolKind::kLrc: return "lrc";
+    case ProtocolKind::kOlrc: return "olrc";
+    case ProtocolKind::kHlrc: return "hlrc";
+    case ProtocolKind::kOhlrc: return "ohlrc";
+    case ProtocolKind::kErc: return "erc";
+    case ProtocolKind::kAurc: return "aurc";
+  }
+  return "?";
+}
+
+ProtocolKind ParseProtocol(const std::string& s) {
+  if (s == "lrc") return ProtocolKind::kLrc;
+  if (s == "olrc") return ProtocolKind::kOlrc;
+  if (s == "hlrc") return ProtocolKind::kHlrc;
+  if (s == "ohlrc") return ProtocolKind::kOhlrc;
+  if (s == "erc") return ProtocolKind::kErc;
+  if (s == "aurc") return ProtocolKind::kAurc;
+  std::fprintf(stderr, "unknown protocol '%s'\n", s.c_str());
+  Usage();
+}
+
+TestMutation ParseMutation(const std::string& s) {
+  if (s == "none") return TestMutation::kNone;
+  if (s == "hlrc-skip-diff-apply") return TestMutation::kHlrcSkipDiffApply;
+  if (s == "lrc-skip-invalidate") return TestMutation::kLrcSkipInvalidate;
+  std::fprintf(stderr, "unknown mutation '%s'\n", s.c_str());
+  Usage();
+}
+
+std::vector<std::string> SplitList(const std::string& s) {
+  std::vector<std::string> out;
+  size_t pos = 0;
+  while (pos <= s.size()) {
+    const size_t comma = s.find(',', pos);
+    const size_t end = comma == std::string::npos ? s.size() : comma;
+    if (end > pos) {
+      out.push_back(s.substr(pos, end - pos));
+    }
+    pos = end + 1;
+  }
+  return out;
+}
+
+Options Parse(int argc, char** argv) {
+  Options o;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto val = [&](const char* p) { return arg.substr(std::strlen(p)); };
+    if (arg == "--list") {
+      std::printf("litmus tests:");
+      for (const std::string& l : LitmusNames()) {
+        std::printf(" %s", l.c_str());
+      }
+      std::printf("\nprotocols: lrc olrc hlrc ohlrc erc aurc\n");
+      std::printf("mutations: none hlrc-skip-diff-apply lrc-skip-invalidate\n");
+      std::exit(0);
+    } else if (arg.rfind("--litmus=", 0) == 0) {
+      const std::string s = val("--litmus=");
+      o.litmus = s == "all" ? LitmusNames() : SplitList(s);
+    } else if (arg.rfind("--protocols=", 0) == 0) {
+      const std::string s = val("--protocols=");
+      for (const std::string& p :
+           SplitList(s == "all" ? "lrc,olrc,hlrc,ohlrc,erc,aurc" : s)) {
+        o.protocols.push_back(ParseProtocol(p));
+      }
+    } else if (arg.rfind("--seeds=", 0) == 0) {
+      o.seeds = std::atoi(val("--seeds=").c_str());
+    } else if (arg.rfind("--seed=", 0) == 0) {
+      o.first_seed = std::strtoull(val("--seed=").c_str(), nullptr, 10);
+    } else if (arg.rfind("--nodes=", 0) == 0) {
+      o.nodes = std::atoi(val("--nodes=").c_str());
+    } else if (arg.rfind("--rounds=", 0) == 0) {
+      o.rounds = std::atoi(val("--rounds=").c_str());
+    } else if (arg.rfind("--page-size=", 0) == 0) {
+      o.page_size = std::atoll(val("--page-size=").c_str());
+    } else if (arg.rfind("--max-jitter-us=", 0) == 0) {
+      o.max_jitter = Micros(std::atoll(val("--max-jitter-us=").c_str()));
+    } else if (arg == "--no-permute") {
+      o.permute = false;
+    } else if (arg.rfind("--mutation=", 0) == 0) {
+      o.mutation = ParseMutation(val("--mutation="));
+    } else if (arg.rfind("--fault-drop=", 0) == 0) {
+      o.fault_drop = std::atof(val("--fault-drop=").c_str());
+    } else if (arg == "--stop-on-failure") {
+      o.stop_on_failure = true;
+    } else if (arg.rfind("--replay-seed=", 0) == 0) {
+      o.replay = true;
+      o.replay_seed = std::strtoull(val("--replay-seed=").c_str(), nullptr, 10);
+    } else if (arg.rfind("--limit=", 0) == 0) {
+      o.limit = std::strtoull(val("--limit=").c_str(), nullptr, 10);
+    } else {
+      std::fprintf(stderr, "unknown flag: %s\n", arg.c_str());
+      Usage();
+    }
+  }
+  if (o.litmus.empty()) {
+    o.litmus = LitmusNames();
+  }
+  if (o.protocols.empty()) {
+    o.protocols = {ProtocolKind::kLrc, ProtocolKind::kErc, ProtocolKind::kHlrc,
+                   ProtocolKind::kAurc};
+  }
+  return o;
+}
+
+CheckConfig BaseConfig(const Options& o, const std::string& litmus, ProtocolKind protocol) {
+  CheckConfig cfg;
+  cfg.litmus = litmus;
+  cfg.protocol = protocol;
+  cfg.nodes = o.nodes;
+  cfg.rounds = o.rounds;
+  cfg.page_size = o.page_size;
+  cfg.permute_tasks = o.permute;
+  cfg.max_jitter = o.max_jitter;
+  cfg.mutation = o.mutation;
+  if (o.fault_drop > 0) {
+    cfg.fault.drop_prob = o.fault_drop;
+    cfg.reliability.enabled = true;
+  }
+  return cfg;
+}
+
+void PrintViolations(const CheckResult& r) {
+  for (const OracleViolation& v : r.violations) {
+    std::printf("    violation: %s\n", v.description.c_str());
+  }
+}
+
+void PrintTrace(const CheckResult& r, uint64_t limit) {
+  std::printf("    decision trace (%llu chaos decisions%s):",
+              static_cast<unsigned long long>(std::min(limit, r.decisions_used)),
+              r.trace.size() < std::min<uint64_t>(limit, r.decisions_used) ? ", first shown"
+                                                                           : "");
+  uint64_t shown = 0;
+  for (const ChaosDecision& d : r.trace) {
+    if (d.index >= limit) {
+      break;
+    }
+    std::printf(" %c:%llu", d.kind, static_cast<unsigned long long>(d.value));
+    if (++shown >= 16) {
+      std::printf(" ...");
+      break;
+    }
+  }
+  std::printf("\n");
+}
+
+int Replay(const Options& o) {
+  int rc = 0;
+  for (const std::string& litmus : o.litmus) {
+    for (ProtocolKind protocol : o.protocols) {
+      CheckConfig cfg = BaseConfig(o, litmus, protocol);
+      cfg.seed = o.replay_seed;
+      cfg.decision_limit = o.limit;
+      const CheckResult r = RunOne(cfg);
+      std::printf("%-20s %-6s seed=%llu limit=%llu: %s (%lld reads, %lld writes, %llu decisions)\n",
+                  litmus.c_str(), ProtocolName(protocol),
+                  static_cast<unsigned long long>(o.replay_seed),
+                  static_cast<unsigned long long>(o.limit), r.ok ? "ok" : "VIOLATION",
+                  static_cast<long long>(r.reads_checked),
+                  static_cast<long long>(r.writes_recorded),
+                  static_cast<unsigned long long>(r.decisions_used));
+      PrintTrace(r, o.limit);
+      if (!r.ok) {
+        PrintViolations(r);
+        rc = 1;
+      }
+    }
+  }
+  return rc;
+}
+
+int Main(int argc, char** argv) {
+  const Options o = Parse(argc, argv);
+  if (o.replay) {
+    return Replay(o);
+  }
+
+  std::printf("svmcheck: %d seeds per pair, %d nodes, %d rounds, mutation=%s\n", o.seeds,
+              o.nodes, o.rounds, TestMutationName(o.mutation));
+  int total_failures = 0;
+  int64_t total_reads = 0;
+  for (const std::string& litmus : o.litmus) {
+    for (ProtocolKind protocol : o.protocols) {
+      CheckConfig base = BaseConfig(o, litmus, protocol);
+      bool stop = false;
+      bool printed_failure = false;
+      int seeds_run = 0;
+      SweepResult sweep;
+      for (uint64_t s = o.first_seed; seeds_run < o.seeds && !stop; ++s, ++seeds_run) {
+        base.seed = s;
+        const CheckResult r = RunOne(base);
+        ++sweep.runs;
+        sweep.reads_checked += r.reads_checked;
+        sweep.writes_recorded += r.writes_recorded;
+        if (!r.ok) {
+          ++sweep.failures;
+          if (!sweep.found_failure) {
+            sweep.found_failure = true;
+            sweep.first_failing_seed = s;
+          }
+          if (!printed_failure) {
+            printed_failure = true;
+            std::printf("%-20s %-6s seed=%llu: VIOLATION — minimizing...\n", litmus.c_str(),
+                        ProtocolName(protocol), static_cast<unsigned long long>(s));
+            const MinimizedSchedule min = Minimize(base);
+            std::printf("  reproduce: svmcheck --replay-seed=%llu --limit=%llu "
+                        "--litmus=%s --protocols=%s --nodes=%d --rounds=%d%s%s\n",
+                        static_cast<unsigned long long>(s),
+                        static_cast<unsigned long long>(min.config.decision_limit),
+                        litmus.c_str(), ProtocolFlag(protocol), o.nodes, o.rounds,
+                        o.mutation != TestMutation::kNone ? " --mutation=" : "",
+                        o.mutation != TestMutation::kNone ? TestMutationName(o.mutation) : "");
+            PrintTrace(min.result, min.config.decision_limit);
+            PrintViolations(min.result);
+          }
+          if (o.stop_on_failure) {
+            stop = true;
+          }
+        }
+      }
+      std::printf("%-20s %-6s: %d seeds, %d violation%s, %lld reads checked\n",
+                  litmus.c_str(), ProtocolName(protocol), sweep.runs, sweep.failures,
+                  sweep.failures == 1 ? "" : "s", static_cast<long long>(sweep.reads_checked));
+      total_failures += sweep.failures;
+      total_reads += sweep.reads_checked;
+    }
+  }
+  std::printf("total: %lld reads checked, %d violating run%s\n",
+              static_cast<long long>(total_reads), total_failures,
+              total_failures == 1 ? "" : "s");
+  return total_failures == 0 ? 0 : 1;
+}
+
+}  // namespace
+}  // namespace hlrc
+
+int main(int argc, char** argv) { return hlrc::Main(argc, argv); }
