@@ -5,6 +5,7 @@
 #include <cstring>
 
 #include "src/common/check.h"
+#include "src/metrics/json_writer.h"
 
 namespace hlrc {
 namespace bench {
@@ -54,7 +55,7 @@ ProtocolKind ParseProtocol(const std::string& s) {
                "          [--apps=lu,sor,water-nsq,water-sp,raytrace]\n"
                "          [--protocols=lrc,olrc,hlrc,ohlrc] [--page-size=N]\n"
                "          [--home=block|round-robin|single-node] [--no-verify]\n"
-               "          [--fault-drop=P] [--fault-seed=N]\n",
+               "          [--fault-drop=P] [--fault-seed=N] [--json=FILE]\n",
                argv0);
   std::exit(2);
 }
@@ -109,6 +110,8 @@ BenchOptions ParseArgs(int argc, char** argv) {
     } else if (arg.rfind("--fault-seed=", 0) == 0) {
       opts.fault_seed = static_cast<uint64_t>(
           std::strtoull(value("--fault-seed=").c_str(), nullptr, 10));
+    } else if (arg.rfind("--json=", 0) == 0) {
+      opts.json_out = value("--json=");
     } else if (arg == "--no-verify") {
       opts.verify = false;
     } else if (arg == "--help" || arg == "-h") {
@@ -162,6 +165,75 @@ std::string FmtSeconds(SimTime t) {
   char buf[32];
   std::snprintf(buf, sizeof(buf), "%.2f", ToSeconds(t));
   return buf;
+}
+
+void BenchJson::BeginRow() {
+  HLRC_CHECK_MSG(!in_row_, "BeginRow without EndRow");
+  rows_.emplace_back();
+  in_row_ = true;
+}
+
+void BenchJson::Add(const std::string& key, const std::string& v) {
+  HLRC_CHECK_MSG(in_row_, "Add outside BeginRow/EndRow");
+  rows_.back().push_back({Field::Kind::kString, key, v, 0, 0.0});
+}
+
+void BenchJson::Add(const std::string& key, const char* v) { Add(key, std::string(v)); }
+
+void BenchJson::Add(const std::string& key, int64_t v) {
+  HLRC_CHECK_MSG(in_row_, "Add outside BeginRow/EndRow");
+  rows_.back().push_back({Field::Kind::kInt, key, "", v, 0.0});
+}
+
+void BenchJson::Add(const std::string& key, double v) {
+  HLRC_CHECK_MSG(in_row_, "Add outside BeginRow/EndRow");
+  rows_.back().push_back({Field::Kind::kDouble, key, "", 0, v});
+}
+
+void BenchJson::EndRow() {
+  HLRC_CHECK_MSG(in_row_, "EndRow without BeginRow");
+  in_row_ = false;
+}
+
+std::string BenchJson::ToJson() const {
+  HLRC_CHECK_MSG(!in_row_, "ToJson with an open row");
+  JsonWriter w;
+  w.BeginObject();
+  w.KV("schema", "hlrc-bench");
+  w.KV("version", static_cast<int64_t>(1));
+  w.KV("bench", bench_name_);
+  w.Key("rows");
+  w.BeginArray();
+  for (const std::vector<Field>& row : rows_) {
+    w.BeginObject();
+    for (const Field& f : row) {
+      switch (f.kind) {
+        case Field::Kind::kString:
+          w.KV(f.key, f.s);
+          break;
+        case Field::Kind::kInt:
+          w.KV(f.key, f.i);
+          break;
+        case Field::Kind::kDouble:
+          w.KV(f.key, f.d);
+          break;
+      }
+    }
+    w.EndObject();
+  }
+  w.EndArray();
+  w.EndObject();
+  return w.str();
+}
+
+void BenchJson::WriteFile(const std::string& path) const {
+  const std::string json = ToJson();
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  HLRC_CHECK_MSG(f != nullptr, "cannot open %s for writing", path.c_str());
+  const size_t n = std::fwrite(json.data(), 1, json.size(), f);
+  std::fputc('\n', f);
+  HLRC_CHECK_MSG(std::fclose(f) == 0 && n == json.size(), "short write to %s", path.c_str());
+  std::printf("results written to %s\n", path.c_str());
 }
 
 }  // namespace bench

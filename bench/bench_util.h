@@ -27,6 +27,10 @@ struct BenchOptions {
   // be regenerated under degradation (e.g. table5_traffic --fault-drop=0.01).
   double fault_drop = 0.0;
   uint64_t fault_seed = 42;
+  // When non-empty, benchmarks that support it also write their results as a
+  // machine-readable JSON file (schema "hlrc-bench" v1) for plotting and
+  // regression tracking alongside the ASCII table.
+  std::string json_out;
 };
 
 // Parses --nodes=8,32,64 --scale=tiny|default|paper --apps=lu,sor
@@ -46,6 +50,44 @@ AppRunResult RunVerified(const std::string& app_name, const BenchOptions& opts,
 SimTime SequentialTime(const std::string& app_name, const BenchOptions& opts);
 
 std::string FmtSeconds(SimTime t);
+
+// Accumulates one flat result row per benchmark data point and writes them
+// as {"schema":"hlrc-bench","version":1,"bench":...,"rows":[{...},...]}.
+// Field order within a row is preserved. Usage:
+//   BenchJson json("table2_speedups");
+//   json.BeginRow();
+//   json.Add("app", app); json.Add("nodes", nodes); json.Add("speedup", s);
+//   json.EndRow();
+//   ... if (!opts.json_out.empty()) json.WriteFile(opts.json_out);
+class BenchJson {
+ public:
+  explicit BenchJson(std::string bench_name) : bench_name_(std::move(bench_name)) {}
+
+  void BeginRow();
+  void Add(const std::string& key, const std::string& v);
+  void Add(const std::string& key, const char* v);
+  void Add(const std::string& key, int64_t v);
+  void Add(const std::string& key, int v) { Add(key, static_cast<int64_t>(v)); }
+  void Add(const std::string& key, double v);
+  void EndRow();
+
+  std::string ToJson() const;
+  // Writes ToJson() to `path`; aborts with a message on I/O failure (a bench
+  // run whose results vanish is worse than one that stops).
+  void WriteFile(const std::string& path) const;
+
+ private:
+  struct Field {
+    enum class Kind { kString, kInt, kDouble } kind;
+    std::string key;
+    std::string s;
+    int64_t i = 0;
+    double d = 0.0;
+  };
+  std::string bench_name_;
+  std::vector<std::vector<Field>> rows_;
+  bool in_row_ = false;
+};
 
 }  // namespace bench
 }  // namespace hlrc

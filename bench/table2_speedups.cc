@@ -33,6 +33,7 @@ int Main(int argc, char** argv) {
   }
   table.SetHeader(header);
 
+  BenchJson json("table2_speedups");
   for (const std::string& app : opts.apps) {
     const SimTime seq = SequentialTime(app, opts);
     std::vector<std::string> row = {app, FmtSeconds(seq)};
@@ -42,12 +43,23 @@ int Main(int argc, char** argv) {
         const double speedup =
             static_cast<double>(seq) / static_cast<double>(r.report.total_time);
         row.push_back(Table::Fmt(speedup, 2));
+        json.BeginRow();
+        json.Add("app", app);
+        json.Add("protocol", ProtocolName(kind));
+        json.Add("nodes", nodes);
+        json.Add("seq_s", ToSeconds(seq));
+        json.Add("time_s", ToSeconds(r.report.total_time));
+        json.Add("speedup", speedup);
+        json.EndRow();
         std::fflush(stdout);
       }
     }
     table.AddRow(row);
   }
   table.Print();
+  if (!opts.json_out.empty()) {
+    json.WriteFile(opts.json_out);
+  }
   return 0;
 }
 

@@ -28,6 +28,22 @@ int Main(int argc, char** argv) {
   }
   table.SetHeader(header);
 
+  BenchJson json("table5_traffic");
+  auto add_row = [&json](const std::string& app, int nodes, const char* protocol,
+                         const NodeReport& t) {
+    json.BeginRow();
+    json.Add("app", app);
+    json.Add("protocol", protocol);
+    json.Add("nodes", nodes);
+    json.Add("msgs", t.traffic.msgs_sent);
+    json.Add("update_bytes", t.traffic.update_bytes_sent);
+    json.Add("protocol_bytes", t.traffic.protocol_bytes_sent);
+    json.Add("retransmissions", t.traffic.msgs_retransmitted);
+    json.Add("dup_dropped", t.traffic.msgs_duplicated_dropped);
+    json.Add("acks", t.traffic.acks_sent);
+    json.EndRow();
+  };
+
   for (const std::string& app : opts.apps) {
     for (int nodes : opts.node_counts) {
       const AppRunResult lrc =
@@ -36,6 +52,8 @@ int Main(int argc, char** argv) {
           RunVerified(app, opts, BaseConfig(opts, ProtocolKind::kHlrc, nodes));
       const NodeReport tl = lrc.report.Totals();
       const NodeReport th = hlrc.report.Totals();
+      add_row(app, nodes, "LRC", tl);
+      add_row(app, nodes, "HLRC", th);
       std::vector<std::string> row = {app, Table::Fmt(static_cast<int64_t>(nodes)),
                                       Table::Fmt(tl.traffic.msgs_sent),
                                       Table::Fmt(th.traffic.msgs_sent),
@@ -57,6 +75,9 @@ int Main(int argc, char** argv) {
     table.AddSeparator();
   }
   table.Print();
+  if (!opts.json_out.empty()) {
+    json.WriteFile(opts.json_out);
+  }
   if (faulty) {
     std::printf("\nFault injection active: drop=%.4f seed=%llu (reliable delivery on).\n",
                 opts.fault_drop, static_cast<unsigned long long>(opts.fault_seed));

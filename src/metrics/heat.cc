@@ -1,0 +1,26 @@
+#include "src/metrics/heat.h"
+
+#include <algorithm>
+
+namespace hlrc {
+
+std::vector<PageHeatProfiler::HotPage> PageHeatProfiler::TopN(size_t n) const {
+  std::vector<HotPage> hot;
+  for (size_t p = 0; p < pages_.size(); ++p) {
+    if (pages_[p].Score() > 0) {
+      hot.push_back(HotPage{static_cast<PageId>(p), pages_[p]});
+    }
+  }
+  std::stable_sort(hot.begin(), hot.end(), [](const HotPage& a, const HotPage& b) {
+    if (a.heat.Score() != b.heat.Score()) {
+      return a.heat.Score() > b.heat.Score();
+    }
+    return a.page < b.page;
+  });
+  if (hot.size() > n) {
+    hot.resize(n);
+  }
+  return hot;
+}
+
+}  // namespace hlrc

@@ -1,0 +1,62 @@
+// Minimal recursive-descent JSON parser (no external dependencies).
+//
+// Parses the full JSON grammar into a DOM of JsonValue nodes. Built for the
+// run-summary / bench files this repo writes and for validating the Chrome
+// trace dumps in tests; it is strict (no trailing commas, no comments) and
+// reports the byte offset of the first error.
+#ifndef SRC_METRICS_JSON_H_
+#define SRC_METRICS_JSON_H_
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace hlrc {
+
+struct JsonValue {
+  enum class Type { kNull, kBool, kNumber, kString, kArray, kObject };
+
+  Type type = Type::kNull;
+  bool bool_v = false;
+  double num = 0.0;
+  bool is_int = false;   // number had no '.', 'e' and fits int64
+  int64_t num_i = 0;
+  std::string str;
+  std::vector<JsonValue> arr;
+  // Insertion-ordered; duplicate keys keep the last occurrence reachable
+  // through Find (which scans from the back).
+  std::vector<std::pair<std::string, JsonValue>> obj;
+
+  bool IsNull() const { return type == Type::kNull; }
+  bool IsBool() const { return type == Type::kBool; }
+  bool IsNumber() const { return type == Type::kNumber; }
+  bool IsString() const { return type == Type::kString; }
+  bool IsArray() const { return type == Type::kArray; }
+  bool IsObject() const { return type == Type::kObject; }
+
+  // Object member lookup; nullptr when absent or not an object.
+  const JsonValue* Find(const std::string& key) const;
+
+  // Typed accessors with defaults — convenient for optional fields.
+  double AsDouble(double fallback = 0.0) const;
+  int64_t AsInt(int64_t fallback = 0) const;
+  const std::string& AsString(const std::string& fallback = kEmpty) const;
+  bool AsBool(bool fallback = false) const;
+
+  // Find + accessor in one step.
+  double GetDouble(const std::string& key, double fallback = 0.0) const;
+  int64_t GetInt(const std::string& key, int64_t fallback = 0) const;
+  std::string GetString(const std::string& key, const std::string& fallback = "") const;
+  bool GetBool(const std::string& key, bool fallback = false) const;
+
+  static const std::string kEmpty;
+};
+
+// Parses `text` into `*out`. On failure returns false and describes the
+// error (with byte offset) in `*err`.
+bool ParseJson(const std::string& text, JsonValue* out, std::string* err);
+
+}  // namespace hlrc
+
+#endif  // SRC_METRICS_JSON_H_

@@ -1,0 +1,152 @@
+#include "src/metrics/json_writer.h"
+
+#include <cinttypes>
+#include <cmath>
+#include <cstdio>
+
+namespace hlrc {
+
+void JsonWriter::BeforeValue() {
+  if (have_key_) {
+    have_key_ = false;
+    return;  // Comma was emitted before the key.
+  }
+  if (!first_.empty()) {
+    if (first_.back()) {
+      first_.back() = false;
+    } else {
+      out_ += ',';
+    }
+  }
+}
+
+void JsonWriter::BeginObject() {
+  BeforeValue();
+  out_ += '{';
+  first_.push_back(true);
+}
+
+void JsonWriter::EndObject() {
+  out_ += '}';
+  first_.pop_back();
+}
+
+void JsonWriter::BeginArray() {
+  BeforeValue();
+  out_ += '[';
+  first_.push_back(true);
+}
+
+void JsonWriter::EndArray() {
+  out_ += ']';
+  first_.pop_back();
+}
+
+void JsonWriter::Key(const std::string& k) {
+  if (!first_.empty()) {
+    if (first_.back()) {
+      first_.back() = false;
+    } else {
+      out_ += ',';
+    }
+  }
+  out_ += '"';
+  out_ += Escape(k);
+  out_ += "\":";
+  have_key_ = true;
+}
+
+void JsonWriter::String(const std::string& v) {
+  BeforeValue();
+  out_ += '"';
+  out_ += Escape(v);
+  out_ += '"';
+}
+
+void JsonWriter::Int(int64_t v) {
+  BeforeValue();
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%" PRId64, v);
+  out_ += buf;
+}
+
+void JsonWriter::Double(double v) {
+  BeforeValue();
+  if (!std::isfinite(v)) {
+    out_ += "null";  // JSON has no NaN/Inf.
+    return;
+  }
+  char buf[40];
+  std::snprintf(buf, sizeof(buf), "%.17g", v);
+  out_ += buf;
+}
+
+void JsonWriter::Bool(bool v) {
+  BeforeValue();
+  out_ += v ? "true" : "false";
+}
+
+void JsonWriter::Null() {
+  BeforeValue();
+  out_ += "null";
+}
+
+bool JsonWriter::WriteFile(const std::string& path, std::string* err) const {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    if (err != nullptr) {
+      *err = "cannot open " + path + " for writing";
+    }
+    return false;
+  }
+  const size_t n = std::fwrite(out_.data(), 1, out_.size(), f);
+  const bool flushed = std::fputc('\n', f) != EOF;
+  if (std::fclose(f) != 0 || n != out_.size() || !flushed) {
+    if (err != nullptr) {
+      *err = "short write to " + path;
+    }
+    return false;
+  }
+  return true;
+}
+
+std::string JsonWriter::Escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (unsigned char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      case '\b':
+        out += "\\b";
+        break;
+      case '\f':
+        out += "\\f";
+        break;
+      default:
+        if (c < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += static_cast<char>(c);
+        }
+    }
+  }
+  return out;
+}
+
+}  // namespace hlrc

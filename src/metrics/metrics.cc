@@ -1,0 +1,21 @@
+#include "src/metrics/metrics.h"
+
+namespace hlrc {
+
+Metrics::Metrics(Engine* engine, int nodes, int64_t num_pages, SimTime sample_interval)
+    : registry_(nodes), heat_(num_pages), sampler_(engine, sample_interval) {
+  proto_.resize(static_cast<size_t>(nodes));
+  for (NodeId n = 0; n < nodes; ++n) {
+    ProtoMetrics& pm = proto_[static_cast<size_t>(n)];
+    pm.data_wait_ns = registry_.Histo("proto.data_wait_ns", n);
+    pm.lock_wait_ns = registry_.Histo("proto.lock_wait_ns", n);
+    pm.barrier_wait_ns = registry_.Histo("proto.barrier_wait_ns", n);
+    pm.gc_wait_ns = registry_.Histo("proto.gc_wait_ns", n);
+    pm.outstanding_fetches = registry_.Counter("proto.outstanding_fetches", n);
+    pm.heat = &heat_;
+    sampler_.AddSeries("outstanding_fetches", n,
+                       [c = pm.outstanding_fetches] { return static_cast<double>(*c); });
+  }
+}
+
+}  // namespace hlrc

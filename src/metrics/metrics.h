@@ -1,0 +1,53 @@
+// Metrics: the per-run bundle System hands out when metrics are enabled.
+//
+// Owns the registry, the page-heat profiler, and the simulated-time sampler,
+// and pre-resolves every per-node protocol instrument into ProtoMetrics
+// structs so hot paths never see a name lookup. Layers below src/svm
+// (network, protocol) receive only raw pointers / ProtoMetrics; only System
+// and the exporters deal with this class directly.
+//
+// Metric names (see docs/OBSERVABILITY.md for the full catalogue):
+//   proto.data_wait_ns / lock_wait_ns / barrier_wait_ns / gc_wait_ns
+//   proto.outstanding_fetches
+//   net.queue_ns, net.wire_ns.<msg-type>, net.retransmit_ack_ns
+//   net.bytes_in_flight, net.retransmit_backlog
+#ifndef SRC_METRICS_METRICS_H_
+#define SRC_METRICS_METRICS_H_
+
+#include <vector>
+
+#include "src/common/types.h"
+#include "src/metrics/heat.h"
+#include "src/metrics/node_metrics.h"
+#include "src/metrics/registry.h"
+#include "src/metrics/sampler.h"
+#include "src/sim/engine.h"
+
+namespace hlrc {
+
+class Metrics {
+ public:
+  Metrics(Engine* engine, int nodes, int64_t num_pages, SimTime sample_interval);
+
+  Metrics(const Metrics&) = delete;
+  Metrics& operator=(const Metrics&) = delete;
+
+  MetricsRegistry& registry() { return registry_; }
+  const MetricsRegistry& registry() const { return registry_; }
+  PageHeatProfiler& heat() { return heat_; }
+  const PageHeatProfiler& heat() const { return heat_; }
+  Sampler& sampler() { return sampler_; }
+  const Sampler& sampler() const { return sampler_; }
+
+  ProtoMetrics* proto(NodeId node) { return &proto_[static_cast<size_t>(node)]; }
+
+ private:
+  MetricsRegistry registry_;
+  PageHeatProfiler heat_;
+  Sampler sampler_;
+  std::vector<ProtoMetrics> proto_;
+};
+
+}  // namespace hlrc
+
+#endif  // SRC_METRICS_METRICS_H_

@@ -1,0 +1,47 @@
+// Pre-resolved instrument handles handed to one ProtocolNode.
+//
+// A ProtocolNode never talks to the MetricsRegistry by name: System resolves
+// every instrument once at EnableMetrics() time and hands the protocol this
+// plain struct of raw pointers. Hot paths stay a null-check plus an
+// increment, and a node with metrics disabled carries a single null pointer.
+#ifndef SRC_METRICS_NODE_METRICS_H_
+#define SRC_METRICS_NODE_METRICS_H_
+
+#include <cstdint>
+
+#include "src/metrics/heat.h"
+#include "src/metrics/histogram.h"
+#include "src/sim/time_categories.h"
+
+namespace hlrc {
+
+struct ProtoMetrics {
+  // Wall-clock span of each WaitScope, by category (nanoseconds).
+  Histogram* data_wait_ns = nullptr;     // page-fetch / diff-fetch stalls
+  Histogram* lock_wait_ns = nullptr;
+  Histogram* barrier_wait_ns = nullptr;
+  Histogram* gc_wait_ns = nullptr;
+  // Faults currently blocked in ResolveFault on this node (sampler gauge).
+  int64_t* outstanding_fetches = nullptr;
+  // Shared across nodes; page-indexed, so no per-node state is needed.
+  PageHeatProfiler* heat = nullptr;
+
+  Histogram* ForWait(WaitCat cat) const {
+    switch (cat) {
+      case WaitCat::kData:
+        return data_wait_ns;
+      case WaitCat::kLock:
+        return lock_wait_ns;
+      case WaitCat::kBarrier:
+        return barrier_wait_ns;
+      case WaitCat::kGc:
+        return gc_wait_ns;
+      default:
+        return nullptr;
+    }
+  }
+};
+
+}  // namespace hlrc
+
+#endif  // SRC_METRICS_NODE_METRICS_H_

@@ -1,9 +1,11 @@
 #include "src/net/network.h"
 
 #include <algorithm>
+#include <string>
 #include <utility>
 
 #include "src/common/check.h"
+#include "src/metrics/metrics.h"
 
 namespace hlrc {
 
@@ -77,6 +79,34 @@ void Network::EnableReliableDelivery(const ReliabilityConfig& config) {
                                                static_cast<int>(handlers_.size()));
 }
 
+void Network::AttachMetrics(Metrics* metrics) {
+  HLRC_CHECK_MSG(!sent_anything_, "AttachMetrics must precede any Send");
+  HLRC_CHECK(metrics != nullptr);
+  MetricsRegistry& reg = metrics->registry();
+  const int nodes = static_cast<int>(handlers_.size());
+  instruments_.assign(static_cast<size_t>(nodes), NodeInstruments{});
+  for (NodeId n = 0; n < nodes; ++n) {
+    NodeInstruments& ins = instruments_[static_cast<size_t>(n)];
+    for (int t = 0; t < static_cast<int>(MsgType::kCount); ++t) {
+      ins.wire_ns[static_cast<size_t>(t)] = reg.Histo(
+          std::string("net.wire_ns.") + MsgTypeName(static_cast<MsgType>(t)), n);
+    }
+    ins.queue_ns = reg.Histo("net.queue_ns", n);
+    ins.retransmit_ack_ns = reg.Histo("net.retransmit_ack_ns", n);
+    ins.bytes_in_flight = reg.Counter("net.bytes_in_flight", n);
+    ins.retransmit_backlog = reg.Counter("net.retransmit_backlog", n);
+    metrics->sampler().AddSeries(
+        "bytes_in_flight", n,
+        [c = ins.bytes_in_flight] { return static_cast<double>(*c); });
+    metrics->sampler().AddSeries(
+        "retransmit_backlog", n,
+        [c = ins.retransmit_backlog] { return static_cast<double>(*c); });
+    metrics->sampler().AddSeries(
+        "msgs_sent", n,
+        [s = &stats_[static_cast<size_t>(n)]] { return static_cast<double>(s->msgs_sent); });
+  }
+}
+
 void Network::Send(Message msg) {
   HLRC_CHECK(msg.src >= 0 && msg.src < static_cast<NodeId>(handlers_.size()));
   HLRC_CHECK(msg.dst >= 0 && msg.dst < static_cast<NodeId>(handlers_.size()));
@@ -123,6 +153,9 @@ void Network::Transmit(const std::shared_ptr<WireFrame>& frame, bool retransmit)
   // whether or not the network later loses the frame.
   const SimTime departure = std::max(now, out_free_[frame->src]);
   out_free_[frame->src] = departure + xfer;
+  if (NodeInstruments* ins = InstrumentsFor(frame->src)) {
+    ins->queue_ns->Record(departure - now);
+  }
 
   // Wire time: latency + hops. With wormhole routing the message is pipelined,
   // so the head arrives after the latency and the tail `xfer` later.
@@ -169,6 +202,14 @@ void Network::Transmit(const std::shared_ptr<WireFrame>& frame, bool retransmit)
     return;
   }
 
+  if (!instruments_.empty()) {
+    // Wire latency lands on the destination's histogram: it is the time the
+    // receiver waited for bytes already committed to the fabric.
+    instruments_[static_cast<size_t>(frame->dst)]
+        .wire_ns[static_cast<size_t>(frame->type)]
+        ->Record(delivered - departure);
+    *instruments_[static_cast<size_t>(frame->src)].bytes_in_flight += bytes;
+  }
   engine_->ScheduleAt(delivered, [this, frame] { OnFrameArrival(frame); });
 
   if (fault.duplicate && channel_ != nullptr) {
@@ -178,12 +219,20 @@ void Network::Transmit(const std::shared_ptr<WireFrame>& frame, bool retransmit)
     // payload twice, so the plain fabric ignores the flag.
     const SimTime delivered2 = delivered + xfer;
     in_free_[frame->dst] = delivered2;
+    if (NodeInstruments* ins = InstrumentsFor(frame->src)) {
+      // The duplicate copy is in flight too; each arrival decrements once.
+      *ins->bytes_in_flight += bytes;
+    }
     engine_->ScheduleAt(delivered2, [this, frame] { OnFrameArrival(frame); });
   }
 }
 
 void Network::OnFrameArrival(const std::shared_ptr<WireFrame>& frame) {
   ++stats_[frame->dst].msgs_received;
+  if (NodeInstruments* ins = InstrumentsFor(frame->src)) {
+    *ins->bytes_in_flight -=
+        config_.header_bytes + frame->update_bytes + frame->protocol_bytes;
+  }
   if (channel_ != nullptr) {
     channel_->OnArrival(frame);
     return;

@@ -24,6 +24,7 @@
 #include <vector>
 
 #include "src/common/types.h"
+#include "src/metrics/histogram.h"
 #include "src/net/fault_hook.h"
 #include "src/net/message.h"
 #include "src/net/reliable_channel.h"
@@ -32,6 +33,8 @@
 #include "src/trace/trace.h"
 
 namespace hlrc {
+
+class Metrics;
 
 struct NetworkConfig {
   // One-way latency of a minimal message, including software overheads.
@@ -102,6 +105,12 @@ class Network {
   // Records net-level events (drops, retransmits, dup-drops) when non-null.
   void SetTraceLog(TraceLog* log) { trace_ = log; }
 
+  // Pre-resolves per-node network instruments (wire latency per MsgType,
+  // send-queue delay, bytes-in-flight, retransmit latency/backlog) from
+  // `metrics` and registers the network's sampler series. Must precede any
+  // Send; `metrics` must outlive the network's use.
+  void AttachMetrics(Metrics* metrics);
+
   const TrafficStats& NodeStats(NodeId node) const { return stats_[node]; }
   TrafficStats TotalStats() const;
   const Mesh2D& mesh() const { return mesh_; }
@@ -124,6 +133,19 @@ class Network {
 
   void TraceNet(NodeId node, TraceEvent event, int64_t arg0, int64_t arg1);
 
+  // Raw instrument pointers resolved once in AttachMetrics; empty when
+  // metrics are off, so the hot-path cost is one vector-emptiness branch.
+  struct NodeInstruments {
+    std::array<Histogram*, static_cast<size_t>(MsgType::kCount)> wire_ns{};
+    Histogram* queue_ns = nullptr;
+    Histogram* retransmit_ack_ns = nullptr;
+    int64_t* bytes_in_flight = nullptr;
+    int64_t* retransmit_backlog = nullptr;
+  };
+  NodeInstruments* InstrumentsFor(NodeId node) {
+    return instruments_.empty() ? nullptr : &instruments_[static_cast<size_t>(node)];
+  }
+
   Engine* engine_;
   NetworkConfig config_;
   Mesh2D mesh_;
@@ -135,6 +157,7 @@ class Network {
   FaultHook* fault_hook_ = nullptr;
   DeliveryJitterHook jitter_hook_;
   TraceLog* trace_ = nullptr;
+  std::vector<NodeInstruments> instruments_;
   std::unique_ptr<ReliableChannel> channel_;
   bool sent_anything_ = false;
 };

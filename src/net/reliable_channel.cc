@@ -27,7 +27,12 @@ void ReliableChannel::SubmitData(Message msg) {
   frame->protocol_bytes = msg.protocol_bytes;
   frame->seq = sp.next_seq++;
   frame->msg = std::make_shared<Message>(std::move(msg));
-  sp.unacked[frame->seq].frame = frame;
+  Outstanding& o = sp.unacked[frame->seq];
+  o.frame = frame;
+  o.first_submit = engine_->Now();
+  if (Network::NodeInstruments* ins = network_->InstrumentsFor(frame->src)) {
+    ++*ins->retransmit_backlog;
+  }
   TransmitAttempt(sp, frame->seq);
 }
 
@@ -82,6 +87,14 @@ void ReliableChannel::OnArrival(const std::shared_ptr<WireFrame>& frame) {
     auto it = sp.unacked.find(frame->ack_seq);
     if (it != sp.unacked.end()) {
       engine_->Cancel(it->second.timer);
+      if (Network::NodeInstruments* ins = network_->InstrumentsFor(frame->dst)) {
+        --*ins->retransmit_backlog;
+        if (it->second.attempts > 1) {
+          // Only frames that actually needed a retransmission: the tail the
+          // retry machinery adds on top of the clean round trip.
+          ins->retransmit_ack_ns->Record(engine_->Now() - it->second.first_submit);
+        }
+      }
       sp.unacked.erase(it);
     }
     return;  // Acks for already-acked frames (dup or re-ack) are idempotent.

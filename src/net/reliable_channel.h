@@ -91,6 +91,7 @@ class ReliableChannel {
     std::shared_ptr<WireFrame> frame;
     Engine::EventId timer = Engine::kInvalidEvent;
     int attempts = 0;  // Physical transmissions so far.
+    SimTime first_submit = 0;  // When SubmitData sequenced the frame.
   };
   struct SenderPair {
     uint64_t next_seq = 0;

@@ -33,6 +33,9 @@ void AurcProtocol::OnIntervalClosed(IntervalRecord* rec, CloseActions* actions) 
     // timestamps stay exact.
     const int64_t wire_bytes = static_cast<int64_t>(
         static_cast<double>(d.DataBytes()) * env().options->aurc_write_amplification);
+    // No diff operation happened, but the amplified update bytes are still
+    // attributable page traffic for the heat profile.
+    MetricDiffCreated(p, wire_bytes);
     auto payload = std::make_unique<DiffFlushPayload>();
     payload->writer = self();
     payload->page = p;

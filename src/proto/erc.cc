@@ -18,6 +18,7 @@ void ErcProtocol::OnIntervalClosed(IntervalRecord* rec, CloseActions* actions) {
       continue;
     }
     ++stats_.diffs_created;
+    MetricDiffCreated(p, d.DataBytes());
     actions->diff_cost += costs().DiffCreateCost(pages().page_size(), d.DataBytes());
     update_bytes += d.EncodedSize();
     diffs.push_back(std::move(d));
@@ -107,6 +108,7 @@ void ErcProtocol::HandleUpdate(NodeId writer, uint64_t flush_id, std::vector<Dif
       ApplyDiff(d, pages().State(d.page).twin.get(), pages().page_size());
     }
     ++stats_.diffs_applied;
+    MetricDiffApplied(d.page, d.DataBytes());
   }
   auto payload = std::make_unique<ErcAckPayload>();
   payload->flush_id = flush_id;

@@ -98,6 +98,7 @@ void HlrcProtocol::OnIntervalClosed(IntervalRecord* rec, CloseActions* actions) 
     }
     kept.push_back(p);
     ++stats_.diffs_created;
+    MetricDiffCreated(p, d.DataBytes());
     Trace(TraceEvent::kDiffCreate, p, d.DataBytes());
     Trace(TraceEvent::kDiffFlush, p, home);
     // A later fetch of this page must not return a home copy that predates
@@ -199,6 +200,7 @@ Task<void> HlrcProtocol::ResolveFault(PageId page, bool write) {
       while (true) {
         const uint64_t epoch = RequiredEpoch(page);
         ++stats_.page_fetches;
+        MetricFetch(page, pages().page_size());
         Trace(TraceEvent::kPageFetch, page, home);
         HLRC_TRACE("[%lld] node %d: fetch page=%d from home %d", (long long)engine()->Now(),
                    self(), page, home);
@@ -300,6 +302,7 @@ void HlrcProtocol::HandleDiffFlush(NodeId writer, PageId page, uint32_t interval
     ApplyDiff(diff, pages().PageData(page), pages().page_size());
   }
   ++stats_.diffs_applied;
+  MetricDiffApplied(page, diff.DataBytes());
   SetApplied(page, writer, interval);
   WakeLocalFaultIfReady(page);
   ServePendingRequests(page);

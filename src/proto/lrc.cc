@@ -33,6 +33,7 @@ void LrcProtocol::OnIntervalClosed(IntervalRecord* rec, CloseActions* actions) {
     // already, so laziness applies to the compute-processor path only.
     const bool lazy = env().options->diff_policy == DiffPolicy::kLazy && !overlapped();
     ++stats_.diffs_created;
+    MetricDiffCreated(p, d.DataBytes());
     SetCovered(p, self(), rec->id);
 
     StoredDiff sd;
@@ -235,6 +236,7 @@ Task<void> LrcProtocol::FetchDiffs(PageId page) {
       ApplyDiff(diff, pages().State(page).twin.get(), pages().page_size());
     }
     ++stats_.diffs_applied;
+    MetricDiffApplied(page, diff.DataBytes());
     SetCovered(page, writer, id);
   }
   PrunePendingCovered(page);
@@ -245,6 +247,7 @@ Task<void> LrcProtocol::FetchFullPage(PageId page) {
   const NodeId target = hint != owner_hint_.end() ? hint->second : 0;
   HLRC_CHECK(target != self());
   ++stats_.page_fetches;
+  MetricFetch(page, pages().page_size());
   Trace(TraceEvent::kPageFetch, page, target);
 
   HLRC_CHECK(faults_.find(page) == faults_.end());

@@ -83,6 +83,14 @@ void ProtocolNode::WaitScope::Finish() {
       node->stats_.waits.Add(deduct, -wait);
     }
   }
+  if (node->metrics_ != nullptr) {
+    // The histogram takes the full wall-clock span of the scope: that is the
+    // per-operation latency the application observed, the distribution the
+    // scalar waits[] averages cannot show.
+    if (Histogram* h = node->metrics_->ForWait(cat)) {
+      h->Record(span);
+    }
+  }
 }
 
 // ---------------------------------------------------------------------------
@@ -179,6 +187,9 @@ void ProtocolNode::MarkDirty(PageId page) {
   if (!dirty_flag_[static_cast<size_t>(page)]) {
     dirty_flag_[static_cast<size_t>(page)] = true;
     open_dirty_.push_back(page);
+    if (metrics_ != nullptr) {
+      metrics_->heat->OnWrite(page, env_.self);
+    }
   }
 }
 
@@ -324,7 +335,14 @@ Task<void> ProtocolNode::EnsureAccessSpans(std::vector<PageSpan> spans) {
     if (fault_write) {
       ++stats_.write_faults;
     }
+    if (metrics_ != nullptr) {
+      metrics_->heat->OnFault(fault_page, fault_write);
+      ++*metrics_->outstanding_fetches;
+    }
     co_await ResolveFault(fault_page, fault_write);
+    if (metrics_ != nullptr) {
+      --*metrics_->outstanding_fetches;
+    }
     HLRC_DCHECK(env_.pages->State(fault_page).prot != PageProt::kNone);
     ws.Finish();
   }

@@ -22,6 +22,7 @@
 
 #include "src/common/types.h"
 #include "src/mem/diff.h"
+#include "src/metrics/node_metrics.h"
 #include "src/mem/page_table.h"
 #include "src/mem/shared_space.h"
 #include "src/net/network.h"
@@ -132,6 +133,10 @@ class ProtocolNode {
   // Attaches a structured trace sink (System::EnableTracing).
   void SetTraceLog(TraceLog* trace) { env_.trace = trace; }
 
+  // Attaches pre-resolved metric instruments (System::EnableMetrics). Null
+  // (the default) keeps every recording site a single-branch no-op.
+  void SetMetrics(ProtoMetrics* metrics) { metrics_ = metrics; }
+
  protected:
   // ---- Subclass interface --------------------------------------------------
 
@@ -240,6 +245,25 @@ class ProtocolNode {
     }
   }
 
+  // Metric recording helpers: no-ops when metrics are off, O(1) otherwise.
+  // Subclasses call them at the sites where the corresponding ProtoStats
+  // counter is bumped, adding per-page attribution the scalars cannot carry.
+  void MetricFetch(PageId page, int64_t bytes) const {
+    if (metrics_ != nullptr) {
+      metrics_->heat->OnFetch(page, bytes);
+    }
+  }
+  void MetricDiffCreated(PageId page, int64_t bytes) const {
+    if (metrics_ != nullptr) {
+      metrics_->heat->OnDiffCreated(page, bytes);
+    }
+  }
+  void MetricDiffApplied(PageId page, int64_t bytes) const {
+    if (metrics_ != nullptr) {
+      metrics_->heat->OnDiffApplied(page, bytes);
+    }
+  }
+
   // Whether interval record vts are shipped on the wire (homeless only).
   bool ShipVt() const { return !home_based(); }
 
@@ -268,6 +292,7 @@ class ProtocolNode {
   };
 
   ProtoStats stats_;
+  ProtoMetrics* metrics_ = nullptr;
   VectorClock vt_;
 
   // All interval records known to this node, pruned at barriers once every

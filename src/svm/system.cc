@@ -184,6 +184,19 @@ TraceLog* System::EnableTracing(size_t capacity) {
   return trace_.get();
 }
 
+Metrics* System::EnableMetrics(SimTime sample_interval) {
+  HLRC_CHECK_MSG(!ran_, "EnableMetrics must precede Run");
+  HLRC_CHECK_MSG(metrics_ == nullptr, "EnableMetrics may only be called once");
+  metrics_ = std::make_unique<Metrics>(engine_.get(), config_.nodes,
+                                       config_.shared_bytes / config_.page_size,
+                                       sample_interval);
+  for (NodeId n = 0; n < config_.nodes; ++n) {
+    nodes_[static_cast<size_t>(n)].proto->SetMetrics(metrics_->proto(n));
+  }
+  network_->AttachMetrics(metrics_.get());
+  return metrics_.get();
+}
+
 void System::Run(const Program& program) {
   HLRC_CHECK_MSG(!ran_, "System::Run may only be called once");
   ran_ = true;
@@ -201,6 +214,12 @@ void System::Run(const Program& program) {
       done_node.done = true;
       done_node.finish_time = engine_->Now();
     });
+  }
+
+  if (metrics_ != nullptr) {
+    // After the programs are spawned so the t=0 tick sees a live queue; the
+    // sampler stops rescheduling itself once the rest of the queue drains.
+    metrics_->sampler().Start();
   }
 
   engine_->Run();

@@ -22,6 +22,7 @@
 #include "src/common/types.h"
 #include "src/fault/fault_injector.h"
 #include "src/mem/page_table.h"
+#include "src/metrics/metrics.h"
 #include "src/mem/shared_space.h"
 #include "src/net/network.h"
 #include "src/proto/observer.h"
@@ -155,6 +156,16 @@ class System {
   TraceLog* EnableTracing(size_t capacity = 1 << 20);
   TraceLog* trace() { return trace_.get(); }
 
+  // Enables the metrics layer (src/metrics): per-node latency histograms in
+  // the protocol and network, the per-page heat profile, and a sampler that
+  // snapshots gauge series every `sample_interval` of simulated time. Must
+  // be called before Run. Recording is pure observation — enabling metrics
+  // does not change a single simulated timestamp (tested by
+  // test_golden_determinism). Returns the bundle for export/inspection.
+  Metrics* EnableMetrics(SimTime sample_interval = Millis(1));
+  Metrics* metrics() { return metrics_.get(); }
+  const Metrics* metrics() const { return metrics_.get(); }
+
   // Registers an observer notified of every access made through
   // NodeContext::LoadWord / StoreWord (consistency checking; src/check).
   // Pass nullptr to remove. The observer must outlive Run.
@@ -186,6 +197,7 @@ class System {
 
   SimConfig config_;
   std::unique_ptr<TraceLog> trace_;
+  std::unique_ptr<Metrics> metrics_;
   std::unique_ptr<Engine> engine_;
   std::unique_ptr<FaultInjector> fault_;  // Outlives network_ (installed as its hook).
   std::unique_ptr<Network> network_;

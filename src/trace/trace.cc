@@ -92,7 +92,7 @@ void TraceLog::DumpText(std::FILE* out) const {
   }
 }
 
-void TraceLog::DumpChromeJson(const std::string& path) const {
+void TraceLog::DumpChromeJson(const std::string& path, const std::string& extra_events) const {
   std::FILE* f = std::fopen(path.c_str(), "w");
   HLRC_CHECK_MSG(f != nullptr, "cannot open trace file %s", path.c_str());
   std::fprintf(f, "[\n");
@@ -107,6 +107,12 @@ void TraceLog::DumpChromeJson(const std::string& path) const {
                  "\"s\":\"t\",\"args\":{\"a0\":%lld,\"a1\":%lld}}",
                  TraceEventName(r.event), ToMicros(r.time), r.node,
                  static_cast<long long>(r.arg0), static_cast<long long>(r.arg1));
+  }
+  if (!extra_events.empty()) {
+    if (!first) {
+      std::fprintf(f, ",\n");
+    }
+    std::fwrite(extra_events.data(), 1, extra_events.size(), f);
   }
   std::fprintf(f, "\n]\n");
   std::fclose(f);

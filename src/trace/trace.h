@@ -69,8 +69,11 @@ class TraceLog {
   void DumpText(std::FILE* out) const;
 
   // Chrome trace-event format (chrome://tracing, Perfetto). One instant
-  // event per record; pid 0, tid = node.
-  void DumpChromeJson(const std::string& path) const;
+  // event per record; pid 0, tid = node. `extra_events`, when non-empty, is
+  // spliced into the event array verbatim: a comma-joined list of event
+  // objects with no trailing comma (e.g. the sampler's Perfetto counter
+  // tracks from ChromeCounterEvents).
+  void DumpChromeJson(const std::string& path, const std::string& extra_events = "") const;
 
  private:
   size_t capacity_;

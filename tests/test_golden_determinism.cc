@@ -27,6 +27,8 @@ namespace {
 
 constexpr int kNodes = 8;
 
+std::string FormatSummary(const std::string& app_name, ProtocolKind kind, const RunReport& report);
+
 std::string SummaryLine(const std::string& app_name, ProtocolKind kind) {
   std::unique_ptr<App> app = MakeApp(app_name, AppScale::kTiny);
   SimConfig cfg;
@@ -34,11 +36,31 @@ std::string SummaryLine(const std::string& app_name, ProtocolKind kind) {
   cfg.protocol.kind = kind;
   const AppRunResult r = RunApp(*app, cfg);
   EXPECT_TRUE(r.verified) << app_name << " under " << ProtocolName(kind) << ": " << r.why;
+  return FormatSummary(app_name, kind, r.report);
+}
 
-  const NodeReport t = r.report.Totals();
+// Same run with the metrics layer enabled: recording must be pure
+// observation, so the summary line has to be bit-identical to SummaryLine's.
+std::string SummaryLineWithMetrics(const std::string& app_name, ProtocolKind kind) {
+  std::unique_ptr<App> app = MakeApp(app_name, AppScale::kTiny);
+  SimConfig cfg;
+  cfg.nodes = kNodes;
+  cfg.protocol.kind = kind;
+  System sys(cfg);
+  sys.EnableMetrics(Micros(100));
+  app->Setup(sys);
+  sys.Run(app->Program());
+  std::string why;
+  EXPECT_TRUE(app->Verify(sys, &why)) << app_name << ": " << why;
+  return FormatSummary(app_name, kind, sys.report());
+}
+
+std::string FormatSummary(const std::string& app_name, ProtocolKind kind,
+                          const RunReport& report) {
+  const NodeReport t = report.Totals();
   std::ostringstream os;
   os << app_name << " " << ProtocolName(kind) << " nodes=" << kNodes
-     << " time=" << r.report.total_time << " msgs=" << t.traffic.msgs_sent
+     << " time=" << report.total_time << " msgs=" << t.traffic.msgs_sent
      << " update_bytes=" << t.traffic.update_bytes_sent
      << " proto_bytes=" << t.traffic.protocol_bytes_sent
      << " read_misses=" << t.proto.read_misses << " write_faults=" << t.proto.write_faults
@@ -66,6 +88,13 @@ std::string GoldenPath() { return std::string(HLRC_GOLDEN_DIR) + "/summary_8node
 
 TEST(GoldenDeterminism, RepeatedRunsAreBitIdentical) {
   EXPECT_EQ(SummaryLine("sor", ProtocolKind::kHlrc), SummaryLine("sor", ProtocolKind::kHlrc));
+}
+
+TEST(GoldenDeterminism, MetricsCollectionDoesNotChangeTheRun) {
+  for (ProtocolKind kind : {ProtocolKind::kLrc, ProtocolKind::kHlrc}) {
+    EXPECT_EQ(SummaryLine("sor", kind), SummaryLineWithMetrics("sor", kind))
+        << ProtocolName(kind);
+  }
 }
 
 TEST(GoldenDeterminism, SummaryMatchesCheckedInGolden) {

@@ -6,6 +6,7 @@
 #include <cstring>
 #include <string>
 
+#include "src/metrics/json.h"
 #include "src/svm/system.h"
 #include "tests/test_util.h"
 
@@ -85,6 +86,89 @@ TEST(TraceIntegration, EventsMatchProtocolCounters) {
   for (size_t i = 1; i < snap.size(); ++i) {
     EXPECT_LE(snap[i - 1].time, snap[i].time);
   }
+}
+
+std::string ReadWholeFile(const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "r");
+  EXPECT_NE(f, nullptr) << path;
+  std::string content;
+  char buf[4096];
+  size_t n;
+  while ((n = std::fread(buf, 1, sizeof(buf), f)) > 0) {
+    content.append(buf, n);
+  }
+  std::fclose(f);
+  return content;
+}
+
+TEST(TraceLog, WraparoundKeepsNewestAcrossManyTurns) {
+  // Fill the ring several times over; the survivors must be exactly the
+  // newest `capacity` records in recording order.
+  TraceLog log(8);
+  const int kTotal = 100;
+  for (int i = 0; i < kTotal; ++i) {
+    log.Record(i % 3, Micros(i), TraceEvent::kFault, i);
+  }
+  auto snap = log.Snapshot();
+  ASSERT_EQ(snap.size(), 8u);
+  for (int i = 0; i < 8; ++i) {
+    EXPECT_EQ(snap[static_cast<size_t>(i)].arg0, kTotal - 8 + i);
+  }
+  EXPECT_EQ(log.dropped(), kTotal - 8);
+}
+
+TEST(TraceLog, ChromeJsonParsesWithStrictParser) {
+  // Strict-parse the whole dump: no trailing commas anywhere, every event
+  // name escaped properly, every record accounted for.
+  TraceLog log(64);
+  for (int e = 0; e < static_cast<int>(TraceEvent::kCount); ++e) {
+    log.Record(e % 4, Micros(e), static_cast<TraceEvent>(e), e, -e);
+  }
+  const std::string path = ::testing::TempDir() + "/hlrc_trace_strict.json";
+  log.DumpChromeJson(path);
+  JsonValue doc;
+  std::string err;
+  ASSERT_TRUE(ParseJson(ReadWholeFile(path), &doc, &err)) << err;
+  std::remove(path.c_str());
+  ASSERT_TRUE(doc.IsArray());
+  ASSERT_EQ(doc.arr.size(), static_cast<size_t>(TraceEvent::kCount));
+  for (size_t i = 0; i < doc.arr.size(); ++i) {
+    const JsonValue& ev = doc.arr[i];
+    EXPECT_EQ(ev.GetString("name"), TraceEventName(static_cast<TraceEvent>(i)));
+    EXPECT_EQ(ev.GetString("ph"), "i");
+    EXPECT_EQ(ev.GetInt("tid"), static_cast<int64_t>(i % 4));
+    EXPECT_EQ(ev.Find("args")->GetInt("a0"), static_cast<int64_t>(i));
+  }
+}
+
+TEST(TraceLog, ExtraEventsSpliceIntoEventArray) {
+  TraceLog log(16);
+  log.Record(0, Micros(1), TraceEvent::kFault, 1);
+  const std::string path = ::testing::TempDir() + "/hlrc_trace_splice.json";
+  log.DumpChromeJson(path,
+                     "{\"name\":\"c\",\"ph\":\"C\",\"ts\":0.0,\"pid\":0,\"tid\":0,"
+                     "\"args\":{\"value\":7}}");
+  JsonValue doc;
+  std::string err;
+  ASSERT_TRUE(ParseJson(ReadWholeFile(path), &doc, &err)) << err;
+  std::remove(path.c_str());
+  ASSERT_EQ(doc.arr.size(), 2u);
+  EXPECT_EQ(doc.arr[0].GetString("ph"), "i");
+  EXPECT_EQ(doc.arr[1].GetString("ph"), "C");
+  EXPECT_EQ(doc.arr[1].Find("args")->GetInt("value"), 7);
+}
+
+TEST(TraceLog, ExtraEventsIntoEmptyTraceStillParse) {
+  TraceLog log(16);  // Nothing recorded: splice must not emit a leading comma.
+  const std::string path = ::testing::TempDir() + "/hlrc_trace_splice_empty.json";
+  log.DumpChromeJson(path, "{\"name\":\"only\",\"ph\":\"C\",\"ts\":0.0,\"pid\":0,"
+                           "\"tid\":0,\"args\":{\"value\":1}}");
+  JsonValue doc;
+  std::string err;
+  ASSERT_TRUE(ParseJson(ReadWholeFile(path), &doc, &err)) << err;
+  std::remove(path.c_str());
+  ASSERT_EQ(doc.arr.size(), 1u);
+  EXPECT_EQ(doc.arr[0].GetString("name"), "only");
 }
 
 TEST(TraceIntegration, ChromeJsonDumpIsWellFormedEnough) {

@@ -23,6 +23,13 @@
 //   --no-verify           skip result verification
 //   --seed=N              root seed (application inputs + fault injector)
 //
+// Observability (docs/OBSERVABILITY.md):
+//   --metrics-out=FILE    write a versioned JSON run summary (latency
+//                         histograms, time-series samples, hot pages);
+//                         also adds Perfetto counter tracks to --trace
+//   --sample-interval=US  metrics sampler period in simulated microseconds
+//                         (default 1000; implies metrics collection)
+//
 // Fault injection & reliable delivery (docs/FAULTS.md):
 //   --fault-drop=P        drop each message with probability P
 //   --fault-dup=P         duplicate each message with probability P
@@ -44,6 +51,8 @@
 #include "src/common/rng.h"
 #include "src/common/table.h"
 #include "src/fault/fault_plan.h"
+#include "src/metrics/sampler.h"
+#include "src/svm/run_summary.h"
 #include "src/svm/system.h"
 
 namespace hlrc {
@@ -59,6 +68,8 @@ struct Options {
   DiffPolicy diff_policy = DiffPolicy::kEager;
   int64_t gc_threshold = 4ll << 20;
   std::string trace_path;
+  std::string metrics_path;
+  SimTime sample_interval = Millis(1);
   bool migrate_homes = false;
   bool per_node = false;
   bool verify = true;
@@ -75,7 +86,9 @@ struct Options {
   std::fprintf(stderr,
                "usage: svmsim --app=NAME --protocol=NAME [--nodes=N] [--scale=S]\n"
                "              [--page-size=B] [--home=P] [--diff-policy=P]\n"
-               "              [--gc-threshold=B] [--trace=FILE] [--per-node] [--no-verify]\n"
+               "              [--gc-threshold=B] [--migrate-homes] [--trace=FILE]\n"
+               "              [--metrics-out=FILE] [--sample-interval=US]\n"
+               "              [--per-node] [--no-verify]\n"
                "              [--seed=N] [--fault-drop=P] [--fault-dup=P] [--fault-delay=P]\n"
                "              [--fault-corrupt=P] [--fault-seed=N] [--partition=a-b@t0..t1]\n"
                "              [--reliable] [--retry-timeout=US] [--retry-max=N]\n"
@@ -129,6 +142,14 @@ Options Parse(int argc, char** argv) {
       o.gc_threshold = std::atoll(val("--gc-threshold=").c_str());
     } else if (arg.rfind("--trace=", 0) == 0) {
       o.trace_path = val("--trace=");
+    } else if (arg.rfind("--metrics-out=", 0) == 0) {
+      o.metrics_path = val("--metrics-out=");
+    } else if (arg.rfind("--sample-interval=", 0) == 0) {
+      o.sample_interval = Micros(std::atoll(val("--sample-interval=").c_str()));
+      if (o.sample_interval <= 0) {
+        std::fprintf(stderr, "--sample-interval must be positive\n");
+        Usage();
+      }
     } else if (arg.rfind("--seed=", 0) == 0) {
       o.seed = static_cast<uint64_t>(std::strtoull(val("--seed=").c_str(), nullptr, 10));
       o.seed_set = true;
@@ -206,6 +227,11 @@ int Main(int argc, char** argv) {
   auto app = o.seed_set ? MakeApp(o.app, o.scale, app_seed) : MakeApp(o.app, o.scale);
   System sys(cfg);
   TraceLog* trace = o.trace_path.empty() ? nullptr : sys.EnableTracing();
+  // Metrics ride along whenever a run summary is requested, and also when a
+  // trace is: the Perfetto counter tracks come from the sampler.
+  Metrics* metrics = (o.metrics_path.empty() && o.trace_path.empty())
+                         ? nullptr
+                         : sys.EnableMetrics(o.sample_interval);
   app->Setup(sys);
   sys.Run(app->Program());
 
@@ -290,10 +316,23 @@ int Main(int argc, char** argv) {
   }
 
   if (trace != nullptr) {
-    trace->DumpChromeJson(o.trace_path);
+    trace->DumpChromeJson(o.trace_path, ChromeCounterEvents(metrics->sampler()));
     std::printf("\ntrace written to %s (%lld events, %lld dropped)\n", o.trace_path.c_str(),
                 static_cast<long long>(trace->recorded()),
                 static_cast<long long>(trace->dropped()));
+  }
+  if (!o.metrics_path.empty()) {
+    RunSummaryMeta meta;
+    meta.app = app->name();
+    meta.scale = o.scale == AppScale::kPaper ? "paper"
+                                             : (o.scale == AppScale::kTiny ? "tiny" : "default");
+    meta.verified = verified;
+    std::string err;
+    if (!WriteRunSummaryJson(o.metrics_path, sys, meta, &err)) {
+      std::fprintf(stderr, "metrics: %s\n", err.c_str());
+      return 1;
+    }
+    std::printf("run summary written to %s (inspect with svmprof)\n", o.metrics_path.c_str());
   }
   return verified ? 0 : 1;
 }
