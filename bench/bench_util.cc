@@ -55,7 +55,7 @@ ProtocolKind ParseProtocol(const std::string& s) {
                "          [--apps=lu,sor,water-nsq,water-sp,raytrace]\n"
                "          [--protocols=lrc,olrc,hlrc,ohlrc] [--page-size=N]\n"
                "          [--home=block|round-robin|single-node] [--no-verify]\n"
-               "          [--fault-drop=P] [--fault-seed=N] [--json=FILE]\n",
+               "          [--fault-drop=P] [--fault-seed=N] [--json=FILE] [--jobs=N]\n",
                argv0);
   std::exit(2);
 }
@@ -112,6 +112,8 @@ BenchOptions ParseArgs(int argc, char** argv) {
           std::strtoull(value("--fault-seed=").c_str(), nullptr, 10));
     } else if (arg.rfind("--json=", 0) == 0) {
       opts.json_out = value("--json=");
+    } else if (arg.rfind("--jobs=", 0) == 0) {
+      opts.jobs = std::atoi(value("--jobs=").c_str());
     } else if (arg == "--no-verify") {
       opts.verify = false;
     } else if (arg == "--help" || arg == "-h") {

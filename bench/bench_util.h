@@ -8,6 +8,7 @@
 
 #include "src/apps/app.h"
 #include "src/common/table.h"
+#include "src/sim/sweep.h"  // ParallelMap/ParallelFor for --jobs fan-out.
 #include "src/svm/system.h"
 
 namespace hlrc {
@@ -27,6 +28,11 @@ struct BenchOptions {
   // be regenerated under degradation (e.g. table5_traffic --fault-drop=0.01).
   double fault_drop = 0.0;
   uint64_t fault_seed = 42;
+  // Worker threads for benchmarks that fan data points out through
+  // ParallelMap (src/sim/sweep.h). Each data point is an isolated System, so
+  // tables and JSON output are byte-identical at any job count.
+  // 0 = hardware concurrency.
+  int jobs = 0;
   // When non-empty, benchmarks that support it also write their results as a
   // machine-readable JSON file (schema "hlrc-bench" v1) for plotting and
   // regression tracking alongside the ASCII table.

@@ -6,6 +6,7 @@
 #include "src/apps/litmus.h"
 #include "src/common/check.h"
 #include "src/common/rng.h"
+#include "src/sim/sweep.h"
 #include "src/svm/system.h"
 
 namespace hlrc {
@@ -113,12 +114,23 @@ CheckResult RunOne(const CheckConfig& config) {
 }
 
 SweepResult Sweep(const CheckConfig& base, uint64_t first_seed, int seeds,
-                  const std::function<void(uint64_t, const CheckResult&)>& on_failure) {
+                  const std::function<void(uint64_t, const CheckResult&)>& on_failure,
+                  int jobs) {
   SweepResult sweep;
-  CheckConfig cfg = base;
+  if (seeds <= 0) {
+    return sweep;
+  }
+  const std::vector<CheckResult> results = ParallelMap<CheckResult>(
+      seeds, jobs, [&base, first_seed](int i) {
+        CheckConfig cfg = base;
+        cfg.seed = first_seed + static_cast<uint64_t>(i);
+        return RunOne(cfg);
+      });
+  // Aggregation (and failure reporting) walks results in seed order, so the
+  // outcome is byte-identical to the historical serial loop.
   for (int i = 0; i < seeds; ++i) {
-    cfg.seed = first_seed + static_cast<uint64_t>(i);
-    CheckResult r = RunOne(cfg);
+    const CheckResult& r = results[static_cast<size_t>(i)];
+    const uint64_t seed = first_seed + static_cast<uint64_t>(i);
     ++sweep.runs;
     sweep.reads_checked += r.reads_checked;
     sweep.writes_recorded += r.writes_recorded;
@@ -126,10 +138,10 @@ SweepResult Sweep(const CheckConfig& base, uint64_t first_seed, int seeds,
       ++sweep.failures;
       if (!sweep.found_failure) {
         sweep.found_failure = true;
-        sweep.first_failing_seed = cfg.seed;
+        sweep.first_failing_seed = seed;
       }
       if (on_failure) {
-        on_failure(cfg.seed, r);
+        on_failure(seed, r);
       }
     }
   }

@@ -98,9 +98,13 @@ struct SweepResult {
 };
 
 // Runs `seeds` explorations with seeds first_seed, first_seed+1, ...;
-// `on_failure` (optional) is invoked for each failing seed.
+// `on_failure` (optional) is invoked for each failing seed, in seed order.
+// `jobs` > 1 runs the seeds on that many worker threads (src/sim/sweep.h);
+// every RunOne is an isolated System, so the aggregated result — and the
+// order of on_failure callbacks — is identical at any job count.
 SweepResult Sweep(const CheckConfig& base, uint64_t first_seed, int seeds,
-                  const std::function<void(uint64_t, const CheckResult&)>& on_failure = {});
+                  const std::function<void(uint64_t, const CheckResult&)>& on_failure = {},
+                  int jobs = 1);
 
 // Shrinks a failing run to the shortest chaos-decision prefix that still
 // fails (binary search on decision_limit; a mutation-induced failure that

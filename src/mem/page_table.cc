@@ -24,7 +24,13 @@ PageTable::~PageTable() { ::munmap(base_, static_cast<size_t>(space_bytes_)); }
 void PageTable::MakeTwin(PageId p) {
   PageState& st = State(p);
   HLRC_CHECK(st.twin == nullptr);
-  st.twin = std::make_unique<std::byte[]>(static_cast<size_t>(page_size_));
+  if (!twin_pool_.empty()) {
+    st.twin = std::move(twin_pool_.back());
+    twin_pool_.pop_back();
+    ++twin_pool_hits_;
+  } else {
+    st.twin = std::make_unique<std::byte[]>(static_cast<size_t>(page_size_));
+  }
   std::memcpy(st.twin.get(), PageData(p), static_cast<size_t>(page_size_));
   ++twin_count_;
 }
@@ -32,7 +38,7 @@ void PageTable::MakeTwin(PageId p) {
 void PageTable::DropTwin(PageId p) {
   PageState& st = State(p);
   if (st.twin != nullptr) {
-    st.twin.reset();
+    twin_pool_.push_back(std::move(st.twin));
     --twin_count_;
   }
 }

@@ -75,7 +75,11 @@ class PageTable {
   }
 
   // Snapshots the current page contents as the twin. The caller accounts the
-  // cost; this just does the copy and the memory bookkeeping.
+  // cost; this just does the copy and the memory bookkeeping. Twin buffers
+  // are recycled through a per-node free list (docs/PERFORMANCE.md): twin
+  // churn at interval boundaries is the hottest allocation site in the
+  // simulator, and the pool's steady state is the run's peak concurrent twin
+  // count, so after warm-up MakeTwin/DropTwin never touch the allocator.
   void MakeTwin(PageId p);
   void DropTwin(PageId p);
   bool HasTwin(PageId p) const { return State(p).twin != nullptr; }
@@ -84,6 +88,11 @@ class PageTable {
   int64_t TwinBytes() const { return twin_count_ * page_size_; }
   int64_t twin_count() const { return twin_count_; }
 
+  // Arena observability: buffers parked for reuse, and how many MakeTwin
+  // calls were served from the pool vs the allocator.
+  int64_t twin_pool_size() const { return static_cast<int64_t>(twin_pool_.size()); }
+  int64_t twin_pool_hits() const { return twin_pool_hits_; }
+
  private:
   int64_t space_bytes_;
   int64_t page_size_;
@@ -91,6 +100,8 @@ class PageTable {
   std::byte* base_;  // mmap'ed; owned.
   std::vector<PageState> states_;
   int64_t twin_count_ = 0;
+  std::vector<std::unique_ptr<std::byte[]>> twin_pool_;
+  int64_t twin_pool_hits_ = 0;
 };
 
 }  // namespace hlrc

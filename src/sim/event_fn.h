@@ -1,0 +1,151 @@
+// Small-buffer callable for engine events.
+//
+// Every scheduled event used to carry a std::function<void()>, whose type
+// erasure heap-allocates for any capture larger than two pointers. Engine
+// callbacks are scheduled millions of times per run, so EventFn stores the
+// callable inline in a fixed buffer sized for the protocol's largest common
+// captures and falls back to the heap only for oversized ones. Move-only
+// (events fire exactly once), and move-only callables are accepted.
+#ifndef SRC_SIM_EVENT_FN_H_
+#define SRC_SIM_EVENT_FN_H_
+
+#include <cstddef>
+#include <new>
+#include <type_traits>
+#include <utility>
+
+namespace hlrc {
+
+class EventFn {
+ public:
+  // Inline capture budget. 40 bytes covers a this-pointer plus a handful of
+  // captured scalars/smart pointers — measured against the protocol and
+  // processor callbacks, which keeps the slab allocation-free on the hot
+  // paths — and lands the engine's Slot (EventFn + generation) on exactly one
+  // 64-byte cache line.
+  static constexpr size_t kInlineBytes = 40;
+
+  EventFn() noexcept = default;
+
+  template <typename F,
+            typename = std::enable_if_t<!std::is_same_v<std::decay_t<F>, EventFn> &&
+                                        std::is_invocable_r_v<void, std::decay_t<F>&>>>
+  EventFn(F&& f) {  // NOLINT(google-explicit-constructor): drop-in for std::function.
+    Emplace(std::forward<F>(f));
+  }
+
+  // Destroys any held callable and constructs `f` directly in place — the
+  // engine's schedule path uses this to build the callable straight into its
+  // slab slot, skipping a type-erased move.
+  template <typename F,
+            typename = std::enable_if_t<!std::is_same_v<std::decay_t<F>, EventFn> &&
+                                        std::is_invocable_r_v<void, std::decay_t<F>&>>>
+  void Emplace(F&& f) {
+    Reset();
+    using Fn = std::decay_t<F>;
+    if constexpr (sizeof(Fn) <= kInlineBytes && alignof(Fn) <= alignof(Storage) &&
+                  std::is_nothrow_move_constructible_v<Fn>) {
+      ::new (static_cast<void*>(&storage_)) Fn(std::forward<F>(f));
+      invoke_ = &InlineInvokeConsume<Fn>;
+      manage_ = &InlineManage<Fn>;
+    } else {
+      *reinterpret_cast<Fn**>(&storage_) = new Fn(std::forward<F>(f));
+      invoke_ = &HeapInvokeConsume<Fn>;
+      manage_ = &HeapManage<Fn>;
+    }
+  }
+
+  EventFn(EventFn&& other) noexcept { MoveFrom(std::move(other)); }
+
+  EventFn& operator=(EventFn&& other) noexcept {
+    if (this != &other) {
+      Reset();
+      MoveFrom(std::move(other));
+    }
+    return *this;
+  }
+
+  EventFn(const EventFn&) = delete;
+  EventFn& operator=(const EventFn&) = delete;
+
+  ~EventFn() { Reset(); }
+
+  // Destroys the held callable (releasing any captured state) and empties.
+  void Reset() {
+    if (manage_ != nullptr) {
+      manage_(Op::kDestroy, &storage_, nullptr);
+      manage_ = nullptr;
+      invoke_ = nullptr;
+    }
+  }
+
+  explicit operator bool() const { return invoke_ != nullptr; }
+
+  // Runs the callable and destroys it, leaving the EventFn empty — one
+  // indirect call instead of separate invoke and destroy dispatches. Events
+  // fire exactly once, so single-shot invocation is all the engine needs.
+  void operator()() {
+    const InvokeFn f = invoke_;
+    invoke_ = nullptr;
+    manage_ = nullptr;
+    f(&storage_);
+  }
+
+ private:
+  enum class Op { kDestroy, kMove };
+
+  using Storage = std::aligned_storage_t<kInlineBytes, alignof(std::max_align_t)>;
+  using InvokeFn = void (*)(void*);
+  using ManageFn = void (*)(Op, void* self, void* from);
+
+  template <typename Fn>
+  static void InlineInvokeConsume(void* s) {
+    Fn* fn = std::launder(reinterpret_cast<Fn*>(s));
+    (*fn)();
+    fn->~Fn();
+  }
+  template <typename Fn>
+  static void InlineManage(Op op, void* self, void* from) {
+    Fn* target = std::launder(reinterpret_cast<Fn*>(self));
+    if (op == Op::kDestroy) {
+      target->~Fn();
+    } else {
+      Fn* source = std::launder(reinterpret_cast<Fn*>(from));
+      ::new (self) Fn(std::move(*source));
+      source->~Fn();
+    }
+  }
+
+  template <typename Fn>
+  static void HeapInvokeConsume(void* s) {
+    Fn* fn = *std::launder(reinterpret_cast<Fn**>(s));
+    (*fn)();
+    delete fn;
+  }
+  template <typename Fn>
+  static void HeapManage(Op op, void* self, void* from) {
+    if (op == Op::kDestroy) {
+      delete *std::launder(reinterpret_cast<Fn**>(self));
+    } else {
+      *reinterpret_cast<Fn**>(self) = *std::launder(reinterpret_cast<Fn**>(from));
+    }
+  }
+
+  void MoveFrom(EventFn&& other) {
+    if (other.manage_ != nullptr) {
+      other.manage_(Op::kMove, &storage_, &other.storage_);
+      invoke_ = other.invoke_;
+      manage_ = other.manage_;
+      other.invoke_ = nullptr;
+      other.manage_ = nullptr;
+    }
+  }
+
+  Storage storage_;
+  InvokeFn invoke_ = nullptr;
+  ManageFn manage_ = nullptr;
+};
+
+}  // namespace hlrc
+
+#endif  // SRC_SIM_EVENT_FN_H_

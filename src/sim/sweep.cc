@@ -1,0 +1,57 @@
+#include "src/sim/sweep.h"
+
+#include <atomic>
+#include <thread>
+
+namespace hlrc {
+
+int EffectiveJobs(int requested, int tasks) {
+  int jobs = requested;
+  if (jobs <= 0) {
+    jobs = static_cast<int>(std::thread::hardware_concurrency());
+    if (jobs <= 0) {
+      jobs = 1;  // hardware_concurrency may be unknowable.
+    }
+  }
+  if (tasks < 1) {
+    tasks = 1;
+  }
+  return jobs < tasks ? jobs : tasks;
+}
+
+void ParallelFor(int count, int jobs, const std::function<void(int)>& fn) {
+  if (count <= 0) {
+    return;
+  }
+  jobs = EffectiveJobs(jobs, count);
+  if (jobs <= 1) {
+    for (int i = 0; i < count; ++i) {
+      fn(i);
+    }
+    return;
+  }
+  // Dynamic self-scheduling: simulation wall time varies per task (different
+  // seeds explore different schedules), so static striping would leave the
+  // slowest worker as the critical path.
+  std::atomic<int> next{0};
+  auto worker = [&] {
+    while (true) {
+      const int i = next.fetch_add(1, std::memory_order_relaxed);
+      if (i >= count) {
+        return;
+      }
+      fn(i);
+    }
+  };
+  std::vector<std::thread> threads;
+  threads.reserve(static_cast<size_t>(jobs) - 1);
+  for (int t = 1; t < jobs; ++t) {
+    threads.emplace_back(worker);
+  }
+  worker();  // The calling thread is worker 0.
+  for (std::thread& t : threads) {
+    t.join();
+  }
+}
+
+}  // namespace hlrc

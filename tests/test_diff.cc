@@ -31,7 +31,7 @@ TEST(Diff, SingleWordChange) {
   const Diff d = CreateDiff(1, twin.data(), cur.data(), kPage, 8);
   ASSERT_EQ(d.runs.size(), 1u);
   EXPECT_EQ(d.runs[0].offset, 128u);
-  EXPECT_EQ(d.runs[0].bytes.size(), 8u);  // Word granularity.
+  EXPECT_EQ(d.runs[0].length, 8u);  // Word granularity.
   EXPECT_EQ(d.DataBytes(), 8);
 }
 
@@ -41,7 +41,7 @@ TEST(Diff, FourByteGranularity) {
   cur[128] = std::byte{0xFF};
   const Diff d = CreateDiff(1, twin.data(), cur.data(), kPage, 4);
   ASSERT_EQ(d.runs.size(), 1u);
-  EXPECT_EQ(d.runs[0].bytes.size(), 4u);
+  EXPECT_EQ(d.runs[0].length, 4u);
 }
 
 TEST(Diff, AdjacentWordsCoalesceIntoOneRun) {
@@ -53,7 +53,7 @@ TEST(Diff, AdjacentWordsCoalesceIntoOneRun) {
   const Diff d = CreateDiff(1, twin.data(), cur.data(), kPage, 8);
   ASSERT_EQ(d.runs.size(), 1u);
   EXPECT_EQ(d.runs[0].offset, 64u);
-  EXPECT_EQ(d.runs[0].bytes.size(), 32u);
+  EXPECT_EQ(d.runs[0].length, 32u);
 }
 
 TEST(Diff, DisjointChangesProduceMultipleRuns) {
@@ -150,9 +150,10 @@ TEST_P(DiffFuzzTest, RoundTrip) {
   // Runs are within bounds, non-empty and word aligned.
   for (const DiffRun& r : d.runs) {
     EXPECT_LT(r.offset, kPage);
-    EXPECT_FALSE(r.bytes.empty());
+    EXPECT_GT(r.length, 0u);
     EXPECT_EQ(r.offset % static_cast<uint32_t>(word), 0u);
-    EXPECT_EQ(r.bytes.size() % static_cast<size_t>(word), 0u);
+    EXPECT_EQ(r.length % static_cast<uint32_t>(word), 0u);
+    EXPECT_LE(static_cast<size_t>(r.data_offset) + r.length, d.data.size());
   }
 }
 

@@ -19,8 +19,11 @@
 #include <fstream>
 #include <sstream>
 #include <string>
+#include <utility>
+#include <vector>
 
 #include "src/apps/app.h"
+#include "src/check/explorer.h"
 
 namespace hlrc {
 namespace {
@@ -95,6 +98,44 @@ TEST(GoldenDeterminism, MetricsCollectionDoesNotChangeTheRun) {
     EXPECT_EQ(SummaryLine("sor", kind), SummaryLineWithMetrics("sor", kind))
         << ProtocolName(kind);
   }
+}
+
+// The parallel seed-sweep driver (src/sim/sweep.h) must be an implementation
+// detail: a schedule-exploration sweep aggregated across worker threads has to
+// match the serial sweep exactly — same counters and the same failure
+// callbacks in the same (seed) order.
+TEST(GoldenDeterminism, ParallelSweepMatchesSerialSweep) {
+  CheckConfig base;
+  base.litmus = "barrier-propagation";
+  base.protocol = ProtocolKind::kHlrc;
+  // Inject a mutation so some seeds genuinely fail and exercise the
+  // on_failure path on both sides (same setup as test_check's mutation
+  // regression, which flags this bug within 200 seeds).
+  base.mutation = TestMutation::kHlrcSkipDiffApply;
+  constexpr uint64_t kFirstSeed = 1;
+  constexpr int kSeeds = 200;
+
+  auto run = [&](int jobs) {
+    std::vector<std::pair<uint64_t, bool>> failures;
+    const SweepResult r = Sweep(
+        base, kFirstSeed, kSeeds,
+        [&failures](uint64_t seed, const CheckResult& cr) {
+          failures.emplace_back(seed, cr.ok);
+        },
+        jobs);
+    return std::make_pair(r, failures);
+  };
+
+  const auto [serial, serial_failures] = run(1);
+  const auto [parallel, parallel_failures] = run(4);
+  EXPECT_EQ(serial.runs, parallel.runs);
+  EXPECT_EQ(serial.failures, parallel.failures);
+  EXPECT_EQ(serial.found_failure, parallel.found_failure);
+  EXPECT_EQ(serial.first_failing_seed, parallel.first_failing_seed);
+  EXPECT_EQ(serial.reads_checked, parallel.reads_checked);
+  EXPECT_EQ(serial.writes_recorded, parallel.writes_recorded);
+  EXPECT_EQ(serial_failures, parallel_failures);
+  EXPECT_GT(serial.failures, 0) << "mutation produced no failures; parity test is vacuous";
 }
 
 TEST(GoldenDeterminism, SummaryMatchesCheckedInGolden) {

@@ -19,6 +19,9 @@
 //                         lrc,erc,hlrc,aurc)
 //   --seeds=N             seeds per (litmus, protocol) pair (default 100)
 //   --seed=N              first seed of the sweep (default 1)
+//   --jobs=N              worker threads per sweep (default: hardware
+//                         concurrency; each seed runs its own System, and the
+//                         report is byte-identical to --jobs=1)
 //   --nodes=N             node count (default 4)
 //   --rounds=N            litmus rounds (default 3)
 //   --page-size=BYTES     SVM page size (default 512)
@@ -43,6 +46,7 @@
 
 #include "src/apps/litmus.h"
 #include "src/check/explorer.h"
+#include "src/sim/sweep.h"
 
 namespace hlrc {
 namespace {
@@ -52,6 +56,7 @@ struct Options {
   std::vector<ProtocolKind> protocols;
   int seeds = 100;
   uint64_t first_seed = 1;
+  int jobs = 0;  // 0 = hardware concurrency.
   int nodes = 4;
   int rounds = 3;
   int64_t page_size = 512;
@@ -68,6 +73,7 @@ struct Options {
 [[noreturn]] void Usage() {
   std::fprintf(stderr,
                "usage: svmcheck [--litmus=LIST] [--protocols=LIST] [--seeds=N] [--seed=N]\n"
+               "                [--jobs=N]\n"
                "                [--nodes=N] [--rounds=N] [--page-size=B] [--max-jitter-us=N]\n"
                "                [--no-permute] [--mutation=NAME] [--fault-drop=P]\n"
                "                [--stop-on-failure] [--replay-seed=N [--limit=N]]\n"
@@ -146,6 +152,8 @@ Options Parse(int argc, char** argv) {
       o.seeds = std::atoi(val("--seeds=").c_str());
     } else if (arg.rfind("--seed=", 0) == 0) {
       o.first_seed = std::strtoull(val("--seed=").c_str(), nullptr, 10);
+    } else if (arg.rfind("--jobs=", 0) == 0) {
+      o.jobs = std::atoi(val("--jobs=").c_str());
     } else if (arg.rfind("--nodes=", 0) == 0) {
       o.nodes = std::atoi(val("--nodes=").c_str());
     } else if (arg.rfind("--rounds=", 0) == 0) {
@@ -255,20 +263,41 @@ int Main(int argc, char** argv) {
     return Replay(o);
   }
 
+  const int jobs = EffectiveJobs(o.jobs, o.seeds);
   std::printf("svmcheck: %d seeds per pair, %d nodes, %d rounds, mutation=%s\n", o.seeds,
               o.nodes, o.rounds, TestMutationName(o.mutation));
   int total_failures = 0;
   int64_t total_reads = 0;
   for (const std::string& litmus : o.litmus) {
     for (ProtocolKind protocol : o.protocols) {
-      CheckConfig base = BaseConfig(o, litmus, protocol);
-      bool stop = false;
+      const CheckConfig base = BaseConfig(o, litmus, protocol);
+      // Materialize the per-seed results, then aggregate and print with a
+      // sequential scan in seed order — the report is byte-identical at any
+      // job count. With --stop-on-failure on one job, the historical
+      // streaming path avoids running seeds past the first failure; in
+      // parallel every seed runs and the scan truncates instead.
+      std::vector<CheckResult> results;
+      if (jobs <= 1 && o.stop_on_failure) {
+        for (int i = 0; i < o.seeds; ++i) {
+          CheckConfig cfg = base;
+          cfg.seed = o.first_seed + static_cast<uint64_t>(i);
+          results.push_back(RunOne(cfg));
+          if (!results.back().ok) {
+            break;
+          }
+        }
+      } else {
+        results = ParallelMap<CheckResult>(o.seeds, jobs, [&base, &o](int i) {
+          CheckConfig cfg = base;
+          cfg.seed = o.first_seed + static_cast<uint64_t>(i);
+          return RunOne(cfg);
+        });
+      }
       bool printed_failure = false;
-      int seeds_run = 0;
       SweepResult sweep;
-      for (uint64_t s = o.first_seed; seeds_run < o.seeds && !stop; ++s, ++seeds_run) {
-        base.seed = s;
-        const CheckResult r = RunOne(base);
+      for (size_t i = 0; i < results.size(); ++i) {
+        const CheckResult& r = results[i];
+        const uint64_t s = o.first_seed + static_cast<uint64_t>(i);
         ++sweep.runs;
         sweep.reads_checked += r.reads_checked;
         sweep.writes_recorded += r.writes_recorded;
@@ -282,7 +311,9 @@ int Main(int argc, char** argv) {
             printed_failure = true;
             std::printf("%-20s %-6s seed=%llu: VIOLATION — minimizing...\n", litmus.c_str(),
                         ProtocolName(protocol), static_cast<unsigned long long>(s));
-            const MinimizedSchedule min = Minimize(base);
+            CheckConfig failing = base;
+            failing.seed = s;
+            const MinimizedSchedule min = Minimize(failing);
             std::printf("  reproduce: svmcheck --replay-seed=%llu --limit=%llu "
                         "--litmus=%s --protocols=%s --nodes=%d --rounds=%d%s%s\n",
                         static_cast<unsigned long long>(s),
@@ -294,7 +325,7 @@ int Main(int argc, char** argv) {
             PrintViolations(min.result);
           }
           if (o.stop_on_failure) {
-            stop = true;
+            break;
           }
         }
       }

@@ -21,6 +21,8 @@
 //   --trace=FILE.json     dump a chrome://tracing file
 //   --per-node            print the per-node breakdown table
 //   --no-verify           skip result verification
+//   --verbose             print a host wall-clock summary after the report
+//                         (events processed, events/sec, peak RSS)
 //   --seed=N              root seed (application inputs + fault injector)
 //
 // Observability (docs/OBSERVABILITY.md):
@@ -41,11 +43,16 @@
 //   --reliable            enable ack/retransmit delivery (implied by faults)
 //   --retry-timeout=US    retransmit timeout in microseconds (default 10000)
 //   --retry-max=N         retransmissions per message before aborting
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <string>
 #include <vector>
+
+#if defined(__unix__) || defined(__APPLE__)
+#include <sys/resource.h>
+#endif
 
 #include "src/apps/app.h"
 #include "src/common/rng.h"
@@ -72,6 +79,7 @@ struct Options {
   SimTime sample_interval = Millis(1);
   bool migrate_homes = false;
   bool per_node = false;
+  bool verbose = false;
   bool verify = true;
   bool seed_set = false;
   uint64_t seed = 42;
@@ -88,7 +96,7 @@ struct Options {
                "              [--page-size=B] [--home=P] [--diff-policy=P]\n"
                "              [--gc-threshold=B] [--migrate-homes] [--trace=FILE]\n"
                "              [--metrics-out=FILE] [--sample-interval=US]\n"
-               "              [--per-node] [--no-verify]\n"
+               "              [--per-node] [--no-verify] [--verbose]\n"
                "              [--seed=N] [--fault-drop=P] [--fault-dup=P] [--fault-delay=P]\n"
                "              [--fault-corrupt=P] [--fault-seed=N] [--partition=a-b@t0..t1]\n"
                "              [--reliable] [--retry-timeout=US] [--retry-max=N]\n"
@@ -105,6 +113,23 @@ ProtocolKind ParseProtocol(const std::string& s) {
   if (s == "aurc") return ProtocolKind::kAurc;
   std::fprintf(stderr, "unknown protocol '%s'\n", s.c_str());
   Usage();
+}
+
+// Peak resident set size of this process, in bytes (0 when unavailable).
+int64_t PeakRssBytes() {
+#if defined(__unix__) || defined(__APPLE__)
+  struct rusage ru;
+  if (getrusage(RUSAGE_SELF, &ru) != 0) {
+    return 0;
+  }
+#if defined(__APPLE__)
+  return static_cast<int64_t>(ru.ru_maxrss);  // Bytes on macOS.
+#else
+  return static_cast<int64_t>(ru.ru_maxrss) * 1024;  // KiB on Linux.
+#endif
+#else
+  return 0;
+#endif
 }
 
 Options Parse(int argc, char** argv) {
@@ -185,6 +210,8 @@ Options Parse(int argc, char** argv) {
       o.migrate_homes = true;
     } else if (arg == "--per-node") {
       o.per_node = true;
+    } else if (arg == "--verbose") {
+      o.verbose = true;
     } else if (arg == "--no-verify") {
       o.verify = false;
     } else {
@@ -233,7 +260,10 @@ int Main(int argc, char** argv) {
                          ? nullptr
                          : sys.EnableMetrics(o.sample_interval);
   app->Setup(sys);
+  const auto wall_start = std::chrono::steady_clock::now();
   sys.Run(app->Program());
+  const double wall_seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - wall_start).count();
 
   std::string why;
   const bool verified = !o.verify || app->Verify(sys, &why);
@@ -333,6 +363,13 @@ int Main(int argc, char** argv) {
       return 1;
     }
     std::printf("run summary written to %s (inspect with svmprof)\n", o.metrics_path.c_str());
+  }
+  if (o.verbose) {
+    const int64_t events = sys.engine().events_processed();
+    const double rate = wall_seconds > 0 ? static_cast<double>(events) / wall_seconds : 0.0;
+    std::printf("\nwall clock: %.3f s, %lld events (%.2fM events/s), peak RSS %.1f MiB\n",
+                wall_seconds, static_cast<long long>(events), rate / 1e6,
+                static_cast<double>(PeakRssBytes()) / (1024.0 * 1024.0));
   }
   return verified ? 0 : 1;
 }
