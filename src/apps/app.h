@@ -8,9 +8,11 @@
 #ifndef SRC_APPS_APP_H_
 #define SRC_APPS_APP_H_
 
+#include <functional>
 #include <memory>
 #include <optional>
 #include <string>
+#include <vector>
 
 #include "src/svm/system.h"
 
@@ -40,18 +42,40 @@ enum class AppScale {
   kPaper,    // The paper's problem size (slow to simulate).
 };
 
-// Factory by name: "lu", "sor", "water-nsq", "water-sp", "raytrace", "fft".
-// `seed` overrides the application's input seed (random initial state); by
-// default each app keeps its historical fixed seed, so existing runs are
-// unchanged. Pass SimConfig::seed here to plumb one root seed through a run.
+// Factory by name: "lu", "sor", "water-nsq", "water-sp", "raytrace", "fft",
+// plus any extension registered with AppRegistrar (e.g. the synthetic
+// workloads of src/wkld). `seed` overrides the application's input seed
+// (random initial state); by default each app keeps its historical fixed
+// seed, so existing runs are unchanged. Pass SimConfig::seed here to plumb
+// one root seed through a run. Aborts on unknown names; use TryMakeApp for a
+// recoverable lookup.
 std::unique_ptr<App> MakeApp(const std::string& name, AppScale scale,
                              std::optional<uint64_t> seed = std::nullopt);
+
+// Like MakeApp but returns nullptr on an unknown name.
+std::unique_ptr<App> TryMakeApp(const std::string& name, AppScale scale,
+                                std::optional<uint64_t> seed = std::nullopt);
 
 // The five benchmark names evaluated in the paper, in its order.
 const std::vector<std::string>& AppNames();
 
 // All applications, including extensions beyond the paper's five (FFT).
 const std::vector<std::string>& AllAppNames();
+
+// Every name registered with AppRegistrar (sorted): the paper apps plus any
+// linked-in extensions. This is the authoritative list for CLI validation.
+std::vector<std::string> RegisteredAppNames();
+
+// Self-registration into the name→factory table behind MakeApp. Each
+// application's translation unit defines one registrar at namespace scope;
+// the apps library is an OBJECT library, so registrars in otherwise
+// unreferenced translation units survive static-archive dead stripping.
+class AppRegistrar {
+ public:
+  using Factory =
+      std::function<std::unique_ptr<App>(AppScale scale, std::optional<uint64_t> seed)>;
+  AppRegistrar(const char* name, Factory factory);
+};
 
 // Convenience: build a system, run the app, verify, and return the report.
 struct AppRunResult {

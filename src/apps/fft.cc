@@ -213,4 +213,25 @@ bool FftApp::Verify(System& sys, std::string* why) {
   return true;
 }
 
+namespace {
+const AppRegistrar kFftRegistrar("fft", [](AppScale scale, std::optional<uint64_t> seed) {
+  FftConfig cfg;
+  switch (scale) {
+    case AppScale::kTiny:
+      cfg.n = 32;
+      break;
+    case AppScale::kDefault:
+      cfg.n = 256;
+      break;
+    case AppScale::kPaper:
+      cfg.n = 512;
+      break;
+  }
+  if (seed) {
+    cfg.seed = *seed;
+  }
+  return std::make_unique<FftApp>(cfg);
+});
+}  // namespace
+
 }  // namespace hlrc

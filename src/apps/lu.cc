@@ -232,4 +232,28 @@ bool LuApp::Verify(System& sys, std::string* why) {
   return true;
 }
 
+namespace {
+const AppRegistrar kLuRegistrar("lu", [](AppScale scale, std::optional<uint64_t> seed) {
+  LuConfig cfg;
+  switch (scale) {
+    case AppScale::kTiny:
+      cfg.n = 128;
+      cfg.block = 16;
+      break;
+    case AppScale::kDefault:
+      cfg.n = 1024;
+      cfg.block = 32;
+      break;
+    case AppScale::kPaper:
+      cfg.n = 2048;
+      cfg.block = 32;
+      break;
+  }
+  if (seed) {
+    cfg.seed = *seed;
+  }
+  return std::make_unique<LuApp>(cfg);
+});
+}  // namespace
+
 }  // namespace hlrc

@@ -241,4 +241,31 @@ bool RaytraceApp::Verify(System& sys, std::string* why) {
   return true;
 }
 
+namespace {
+const AppRegistrar kRaytraceRegistrar("raytrace",
+                                      [](AppScale scale, std::optional<uint64_t> seed) {
+                                        RaytraceConfig cfg;
+                                        switch (scale) {
+                                          case AppScale::kTiny:
+                                            cfg.width = 64;
+                                            cfg.height = 64;
+                                            cfg.spheres = 12;
+                                            break;
+                                          case AppScale::kDefault:
+                                            cfg.width = 256;
+                                            cfg.height = 256;
+                                            break;
+                                          case AppScale::kPaper:
+                                            cfg.width = 256;
+                                            cfg.height = 256;
+                                            cfg.spheres = 64;
+                                            break;
+                                        }
+                                        if (seed) {
+                                          cfg.seed = *seed;
+                                        }
+                                        return std::make_unique<RaytraceApp>(cfg);
+                                      });
+}  // namespace
+
 }  // namespace hlrc

@@ -156,4 +156,31 @@ bool SorApp::Verify(System& sys, std::string* why) {
   return true;
 }
 
+namespace {
+const AppRegistrar kSorRegistrar("sor", [](AppScale scale, std::optional<uint64_t> seed) {
+  SorConfig cfg;
+  switch (scale) {
+    case AppScale::kTiny:
+      cfg.rows = 128;
+      cfg.cols = 128;
+      cfg.iterations = 4;
+      break;
+    case AppScale::kDefault:
+      cfg.rows = 2048;
+      cfg.cols = 1024;
+      cfg.iterations = 20;
+      break;
+    case AppScale::kPaper:
+      cfg.rows = 2048;
+      cfg.cols = 2048;
+      cfg.iterations = 51;
+      break;
+  }
+  if (seed) {
+    cfg.seed = *seed;
+  }
+  return std::make_unique<SorApp>(cfg);
+});
+}  // namespace
+
 }  // namespace hlrc

@@ -235,4 +235,29 @@ bool WaterNsqApp::Verify(System& sys, std::string* why) {
   return true;
 }
 
+namespace {
+const AppRegistrar kWaterNsqRegistrar("water-nsq",
+                                      [](AppScale scale, std::optional<uint64_t> seed) {
+                                        WaterNsqConfig cfg;
+                                        switch (scale) {
+                                          case AppScale::kTiny:
+                                            cfg.molecules = 128;
+                                            cfg.steps = 2;
+                                            break;
+                                          case AppScale::kDefault:
+                                            cfg.molecules = 2048;
+                                            cfg.steps = 3;
+                                            break;
+                                          case AppScale::kPaper:
+                                            cfg.molecules = 4096;
+                                            cfg.steps = 3;
+                                            break;
+                                        }
+                                        if (seed) {
+                                          cfg.seed = *seed;
+                                        }
+                                        return std::make_unique<WaterNsqApp>(cfg);
+                                      });
+}  // namespace
+
 }  // namespace hlrc

@@ -360,4 +360,36 @@ bool WaterSpApp::Verify(System& sys, std::string* why) {
   return true;
 }
 
+namespace {
+const AppRegistrar kWaterSpRegistrar("water-sp",
+                                     [](AppScale scale, std::optional<uint64_t> seed) {
+                                       WaterSpConfig cfg;
+                                       switch (scale) {
+                                         case AppScale::kTiny:
+                                           cfg.molecules = 128;
+                                           cfg.cells = 4;
+                                           cfg.steps = 2;
+                                           cfg.box = 8.0;
+                                           break;
+                                         case AppScale::kDefault:
+                                           // Density ~8 molecules/cell: enough pair work per
+                                           // step for the paper's compute:communication regime.
+                                           cfg.molecules = 4096;
+                                           cfg.cells = 8;
+                                           cfg.steps = 3;
+                                           break;
+                                         case AppScale::kPaper:
+                                           cfg.molecules = 4096;
+                                           cfg.cells = 16;
+                                           cfg.steps = 3;
+                                           cfg.box = 32.0;
+                                           break;
+                                       }
+                                       if (seed) {
+                                         cfg.seed = *seed;
+                                       }
+                                       return std::make_unique<WaterSpApp>(cfg);
+                                     });
+}  // namespace
+
 }  // namespace hlrc

@@ -8,6 +8,8 @@
 
 #include <algorithm>
 #include <cstdint>
+#include <functional>
+#include <utility>
 #include <vector>
 
 #include "src/common/check.h"
@@ -32,25 +34,21 @@ class SharedSpace {
   }
 
   // Allocates `bytes`, 16-byte aligned. Aborts if the space is exhausted.
-  GlobalAddr Alloc(int64_t bytes) {
-    next_ = (next_ + 15) & ~static_cast<GlobalAddr>(15);
-    const GlobalAddr addr = next_;
-    HLRC_CHECK_MSG(static_cast<int64_t>(addr) + bytes <= space_bytes_,
-                   "shared space exhausted: need %lld more bytes",
-                   static_cast<long long>(addr + static_cast<GlobalAddr>(bytes)) -
-                       static_cast<long long>(space_bytes_));
-    next_ += static_cast<GlobalAddr>(bytes);
-    RecordAllocation(addr, bytes);
-    return addr;
-  }
+  GlobalAddr Alloc(int64_t bytes) { return AllocInternal(bytes, /*page_aligned=*/false); }
 
   // Allocates `bytes` starting on a fresh page boundary: used to give arrays
   // page-aligned partitions, as Splash-2 programs do with padded allocators.
   GlobalAddr AllocPageAligned(int64_t bytes) {
     const GlobalAddr ps = static_cast<GlobalAddr>(page_size_);
     next_ = (next_ + ps - 1) / ps * ps;
-    return Alloc(bytes);
+    return AllocInternal(bytes, /*page_aligned=*/true);
   }
+
+  // Observation hook for the workload recorder (src/wkld): called once per
+  // allocation with the granted address. `page_aligned` distinguishes the
+  // two allocators so a replay can reproduce the exact layout.
+  using AllocHook = std::function<void(GlobalAddr addr, int64_t bytes, bool page_aligned)>;
+  void SetAllocHook(AllocHook hook) { alloc_hook_ = std::move(hook); }
 
   // Bytes of application data allocated so far (Table 6's "application
   // memory" denominator).
@@ -70,6 +68,21 @@ class SharedSpace {
   int64_t page_size() const { return page_size_; }
 
  private:
+  GlobalAddr AllocInternal(int64_t bytes, bool page_aligned) {
+    next_ = (next_ + 15) & ~static_cast<GlobalAddr>(15);
+    const GlobalAddr addr = next_;
+    HLRC_CHECK_MSG(static_cast<int64_t>(addr) + bytes <= space_bytes_,
+                   "shared space exhausted: need %lld more bytes",
+                   static_cast<long long>(addr + static_cast<GlobalAddr>(bytes)) -
+                       static_cast<long long>(space_bytes_));
+    next_ += static_cast<GlobalAddr>(bytes);
+    RecordAllocation(addr, bytes);
+    if (alloc_hook_) {
+      alloc_hook_(addr, bytes, page_aligned);
+    }
+    return addr;
+  }
+
   void RecordAllocation(GlobalAddr addr, int64_t bytes) {
     const PageId first = static_cast<PageId>(addr / static_cast<GlobalAddr>(page_size_));
     const PageId last = static_cast<PageId>((addr + static_cast<GlobalAddr>(bytes) - 1) /
@@ -86,6 +99,7 @@ class SharedSpace {
   int64_t page_size_;
   GlobalAddr next_ = 0;
   std::vector<Allocation> allocations_;
+  AllocHook alloc_hook_;
 };
 
 }  // namespace hlrc

@@ -16,6 +16,10 @@ NodeContext::NodeContext(System* system, NodeId id) : system_(system), id_(id) {
 int NodeContext::nodes() const { return system_->config_.nodes; }
 
 Task<void> NodeContext::Compute(SimTime duration) {
+  if (WorkloadObserver* w = system_->wobserver_) {
+    w->OnStep(id_);
+    w->OnCompute(id_, duration);
+  }
   if (duration > 0) {
     co_await system_->nodes_[static_cast<size_t>(id_)].cpu->ExecuteApp(duration,
                                                                        BusyCat::kCompute);
@@ -28,6 +32,9 @@ Task<void> NodeContext::ComputeFlops(int64_t flops) {
 
 Task<void> NodeContext::Read(GlobalAddr addr, int64_t bytes) {
   HLRC_CHECK(bytes > 0);
+  if (system_->wobserver_ != nullptr) {
+    return Access({Range{addr, bytes, /*write=*/false}});
+  }
   PageTable& pt = *system_->nodes_[static_cast<size_t>(id_)].pages;
   const PageId first = pt.PageOf(addr);
   const PageId last = pt.PageOf(addr + static_cast<GlobalAddr>(bytes) - 1);
@@ -36,6 +43,9 @@ Task<void> NodeContext::Read(GlobalAddr addr, int64_t bytes) {
 
 Task<void> NodeContext::Write(GlobalAddr addr, int64_t bytes) {
   HLRC_CHECK(bytes > 0);
+  if (system_->wobserver_ != nullptr) {
+    return Access({Range{addr, bytes, /*write=*/true}});
+  }
   PageTable& pt = *system_->nodes_[static_cast<size_t>(id_)].pages;
   const PageId first = pt.PageOf(addr);
   const PageId last = pt.PageOf(addr + static_cast<GlobalAddr>(bytes) - 1);
@@ -51,7 +61,19 @@ Task<void> NodeContext::Access(const std::vector<Range>& ranges) {
     spans.push_back(ProtocolNode::PageSpan{
         pt.PageOf(r.addr), pt.PageOf(r.addr + static_cast<GlobalAddr>(r.bytes) - 1), r.write});
   }
-  return system_->nodes_[static_cast<size_t>(id_)].proto->EnsureAccessSpans(std::move(spans));
+  if (system_->wobserver_ == nullptr) {
+    return system_->nodes_[static_cast<size_t>(id_)].proto->EnsureAccessSpans(std::move(spans));
+  }
+  return ObservedAccess(ranges, std::move(spans));
+}
+
+Task<void> NodeContext::ObservedAccess(std::vector<Range> ranges,
+                                       std::vector<ProtocolNode::PageSpan> spans) {
+  system_->wobserver_->OnStep(id_);
+  co_await system_->nodes_[static_cast<size_t>(id_)].proto->EnsureAccessSpans(std::move(spans));
+  // The grant's final pass resumed us synchronously, so the observer sees the
+  // freshly granted pages before the program performs a single store.
+  system_->wobserver_->OnAccess(id_, ranges);
 }
 
 bool NodeContext::NeedsAccess(GlobalAddr addr, int64_t bytes, bool write) const {
@@ -68,14 +90,26 @@ bool NodeContext::NeedsAccess(GlobalAddr addr, int64_t bytes, bool write) const 
 }
 
 Task<void> NodeContext::Lock(LockId lock) {
+  if (WorkloadObserver* w = system_->wobserver_) {
+    w->OnStep(id_);
+    w->OnLock(id_, lock);
+  }
   return system_->nodes_[static_cast<size_t>(id_)].proto->Acquire(lock);
 }
 
 Task<void> NodeContext::Unlock(LockId lock) {
+  if (WorkloadObserver* w = system_->wobserver_) {
+    w->OnStep(id_);
+    w->OnUnlock(id_, lock);
+  }
   return system_->nodes_[static_cast<size_t>(id_)].proto->Release(lock);
 }
 
 Task<void> NodeContext::Barrier(BarrierId barrier) {
+  if (WorkloadObserver* w = system_->wobserver_) {
+    w->OnStep(id_);
+    w->OnBarrier(id_, barrier);
+  }
   return system_->nodes_[static_cast<size_t>(id_)].proto->Barrier(barrier);
 }
 
@@ -121,6 +155,10 @@ Task<void> NodeContext::StoreWord(GlobalAddr addr, uint64_t value) {
 }
 
 void NodeContext::SnapshotPhase(int phase) {
+  if (WorkloadObserver* w = system_->wobserver_) {
+    w->OnStep(id_);
+    w->OnPhase(id_, phase);
+  }
   system_->report_.phases[{phase, id_}] = system_->SnapshotNode(id_);
 }
 
@@ -184,6 +222,18 @@ TraceLog* System::EnableTracing(size_t capacity) {
   return trace_.get();
 }
 
+void System::SetWorkloadObserver(WorkloadObserver* observer) {
+  HLRC_CHECK_MSG(!ran_, "SetWorkloadObserver must precede Run");
+  wobserver_ = observer;
+  if (observer == nullptr) {
+    space_->SetAllocHook(nullptr);
+  } else {
+    space_->SetAllocHook([this](GlobalAddr addr, int64_t bytes, bool page_aligned) {
+      wobserver_->OnAlloc(addr, bytes, page_aligned);
+    });
+  }
+}
+
 Metrics* System::EnableMetrics(SimTime sample_interval) {
   HLRC_CHECK_MSG(!ran_, "EnableMetrics must precede Run");
   HLRC_CHECK_MSG(metrics_ == nullptr, "EnableMetrics may only be called once");
@@ -213,6 +263,9 @@ void System::Run(const Program& program) {
       Node& done_node = nodes_[static_cast<size_t>(n)];
       done_node.done = true;
       done_node.finish_time = engine_->Now();
+      if (wobserver_ != nullptr) {
+        wobserver_->OnFinish(n);
+      }
     });
   }
 

@@ -31,6 +31,7 @@
 #include "src/sim/processor.h"
 #include "src/sim/task.h"
 #include "src/svm/config.h"
+#include "src/svm/workload_observer.h"
 #include "src/trace/trace.h"
 
 namespace hlrc {
@@ -49,12 +50,9 @@ class NodeContext {
   Task<void> Compute(SimTime duration);
   Task<void> ComputeFlops(int64_t flops);
 
-  // One range of an access grant.
-  struct Range {
-    GlobalAddr addr;
-    int64_t bytes;
-    bool write;
-  };
+  // One range of an access grant (shared with the workload-observation
+  // layer, src/svm/workload_observer.h).
+  using Range = AccessRange;
 
   // Ensures [addr, addr+bytes) is readable / writable, faulting as needed.
   //
@@ -98,6 +96,12 @@ class NodeContext {
 
  private:
   std::byte* RawPtr(GlobalAddr addr) const;
+
+  // Grant wrapper used when a WorkloadObserver is installed: reports the
+  // grant after it completes, still synchronously with the program's
+  // resumption (so the observer's snapshot sees exactly the granted state).
+  Task<void> ObservedAccess(std::vector<Range> ranges,
+                            std::vector<ProtocolNode::PageSpan> spans);
 
   System* system_;
   NodeId id_;
@@ -171,6 +175,14 @@ class System {
   // Pass nullptr to remove. The observer must outlive Run.
   void SetAccessObserver(AccessObserver* observer) { observer_ = observer; }
 
+  // Registers a workload observer notified of allocations, access grants,
+  // synchronization and compute charges (trace recording; src/wkld). Must be
+  // installed before App::Setup so it sees the allocations. Pass nullptr to
+  // remove. The observer must outlive Run. Pure observation: installing one
+  // does not change a single simulated timestamp.
+  void SetWorkloadObserver(WorkloadObserver* observer);
+  WorkloadObserver* workload_observer() const { return wobserver_; }
+
   // Runs `program` on every node to completion. Aborts with a diagnostic if
   // the programs deadlock (event queue drained with unfinished programs).
   void Run(const Program& program);
@@ -205,6 +217,7 @@ class System {
   std::vector<Node> nodes_;
   RunReport report_;
   AccessObserver* observer_ = nullptr;
+  WorkloadObserver* wobserver_ = nullptr;
   bool ran_ = false;
 };
 

@@ -1,0 +1,73 @@
+// Workload observation: the callback surface behind the trace recorder
+// (src/wkld, docs/WORKLOADS.md).
+//
+// A WorkloadObserver registered with svm::System sees the complete
+// protocol-relevant behavior of an application — shared allocations, access
+// grants, synchronization operations and charged compute time — without
+// seeing any of its arithmetic. That stream is exactly what a replay needs to
+// re-execute the workload under a different protocol: the simulated run is a
+// deterministic function of (per-node operation sequence, page contents,
+// SimConfig), and page contents are reconstructed by the recorder's
+// write-capture (see wkld::TraceRecorder).
+//
+// Callback timing contract, per node:
+//   - OnStep fires at the entry of every NodeContext operation, before the
+//     operation does anything. Because a program's stores happen
+//     synchronously between two NodeContext calls (the software-MMU grant
+//     contract, src/svm/system.h), OnStep is the earliest point at which the
+//     stores since the previous grant are complete — the recorder diffs its
+//     write-range snapshots here.
+//   - OnAccess fires after the grant completed, at the instant the program
+//     resumes with the granted (and freshly fetched/updated) pages: the
+//     right moment to snapshot write ranges.
+//   - Everything else fires at operation entry, after OnStep.
+//
+// Observation is pure: no callback charges simulated time or schedules
+// events, so an installed observer cannot change a single simulated
+// timestamp (pinned by test_golden_determinism).
+#ifndef SRC_SVM_WORKLOAD_OBSERVER_H_
+#define SRC_SVM_WORKLOAD_OBSERVER_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/common/types.h"
+
+namespace hlrc {
+
+// One byte range of an access grant (NodeContext::Range is an alias).
+struct AccessRange {
+  GlobalAddr addr;
+  int64_t bytes;
+  bool write;
+
+  bool operator==(const AccessRange& o) const {
+    return addr == o.addr && bytes == o.bytes && write == o.write;
+  }
+};
+
+class WorkloadObserver {
+ public:
+  virtual ~WorkloadObserver() = default;
+
+  // Shared-space allocation (during App::Setup, before Run).
+  virtual void OnAlloc(GlobalAddr addr, int64_t bytes, bool page_aligned) = 0;
+
+  // Entry of every NodeContext operation (see timing contract above).
+  virtual void OnStep(NodeId node) = 0;
+
+  virtual void OnCompute(NodeId node, SimTime duration) = 0;
+  // After the grant completed; `ranges` is the grant as the program issued it.
+  virtual void OnAccess(NodeId node, const std::vector<AccessRange>& ranges) = 0;
+  virtual void OnLock(NodeId node, LockId lock) = 0;
+  virtual void OnUnlock(NodeId node, LockId lock) = 0;
+  virtual void OnBarrier(NodeId node, BarrierId barrier) = 0;
+  virtual void OnPhase(NodeId node, int phase) = 0;
+
+  // The node's program finished (its last stores are complete).
+  virtual void OnFinish(NodeId node) = 0;
+};
+
+}  // namespace hlrc
+
+#endif  // SRC_SVM_WORKLOAD_OBSERVER_H_

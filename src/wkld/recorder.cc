@@ -1,0 +1,140 @@
+#include "src/wkld/recorder.h"
+
+#include <cstring>
+
+namespace hlrc {
+namespace wkld {
+
+namespace {
+
+// Changed-byte runs separated by fewer than this many unchanged bytes are
+// merged into one run. The unchanged bytes are re-stored with their current
+// values on replay, which is harmless, and the merge keeps scattered small
+// stores (e.g. a struct update) from exploding into many tiny runs.
+constexpr int64_t kMergeGap = 32;
+
+}  // namespace
+
+TraceInfo MakeTraceInfo(const SimConfig& config, const std::string& app,
+                        const std::string& meta) {
+  TraceInfo info;
+  info.nodes = config.nodes;
+  info.page_size = config.page_size;
+  info.shared_bytes = config.shared_bytes;
+  info.app = app;
+  info.meta = meta;
+  return info;
+}
+
+TraceRecorder::TraceRecorder(System* system, WorkloadSink* sink)
+    : system_(system), sink_(sink) {
+  pending_.resize(static_cast<size_t>(system->config().nodes));
+}
+
+void TraceRecorder::OnAlloc(GlobalAddr addr, int64_t bytes, bool page_aligned) {
+  sink_->Alloc(AllocEntry{addr, bytes, page_aligned});
+}
+
+void TraceRecorder::OnStep(NodeId node) { FlushWrites(node); }
+
+void TraceRecorder::OnCompute(NodeId node, SimTime duration) {
+  Record rec;
+  rec.kind = Record::Kind::kCompute;
+  rec.duration_ns = duration;
+  sink_->Append(node, rec);
+}
+
+void TraceRecorder::OnAccess(NodeId node, const std::vector<AccessRange>& ranges) {
+  Record rec;
+  rec.kind = Record::Kind::kAccess;
+  rec.ranges = ranges;
+  sink_->Append(node, rec);
+  for (const AccessRange& r : ranges) {
+    if (!r.write) {
+      continue;
+    }
+    PendingWrite pw;
+    pw.addr = r.addr;
+    pw.snapshot.resize(static_cast<size_t>(r.bytes));
+    std::memcpy(pw.snapshot.data(), system_->NodeMemory(node, r.addr), pw.snapshot.size());
+    pending_[static_cast<size_t>(node)].push_back(std::move(pw));
+  }
+}
+
+void TraceRecorder::OnLock(NodeId node, LockId lock) {
+  Record rec;
+  rec.kind = Record::Kind::kLock;
+  rec.sync_id = lock;
+  sink_->Append(node, rec);
+}
+
+void TraceRecorder::OnUnlock(NodeId node, LockId lock) {
+  Record rec;
+  rec.kind = Record::Kind::kUnlock;
+  rec.sync_id = lock;
+  sink_->Append(node, rec);
+}
+
+void TraceRecorder::OnBarrier(NodeId node, BarrierId barrier) {
+  Record rec;
+  rec.kind = Record::Kind::kBarrier;
+  rec.sync_id = barrier;
+  sink_->Append(node, rec);
+}
+
+void TraceRecorder::OnPhase(NodeId node, int phase) {
+  Record rec;
+  rec.kind = Record::Kind::kPhase;
+  rec.sync_id = phase;
+  sink_->Append(node, rec);
+}
+
+void TraceRecorder::OnFinish(NodeId node) {
+  FlushWrites(node);
+  Record rec;
+  rec.kind = Record::Kind::kEnd;
+  sink_->Append(node, rec);
+}
+
+void TraceRecorder::FlushWrites(NodeId node) {
+  std::vector<PendingWrite>& pending = pending_[static_cast<size_t>(node)];
+  if (pending.empty()) {
+    return;
+  }
+  Record rec;
+  rec.kind = Record::Kind::kWrites;
+  for (const PendingWrite& pw : pending) {
+    const uint8_t* now =
+        reinterpret_cast<const uint8_t*>(system_->NodeMemory(node, pw.addr));
+    const int64_t n = static_cast<int64_t>(pw.snapshot.size());
+    int64_t i = 0;
+    while (i < n) {
+      if (now[i] == pw.snapshot[static_cast<size_t>(i)]) {
+        ++i;
+        continue;
+      }
+      // Start of a changed run; extend until kMergeGap unchanged bytes.
+      const int64_t start = i;
+      int64_t end = i + 1;  // One past the last changed byte.
+      int64_t j = end;
+      while (j < n && j - end < kMergeGap) {
+        if (now[j] != pw.snapshot[static_cast<size_t>(j)]) {
+          end = j + 1;
+        }
+        ++j;
+      }
+      WriteRun run;
+      run.addr = pw.addr + static_cast<GlobalAddr>(start);
+      run.bytes.assign(now + start, now + end);
+      rec.runs.push_back(std::move(run));
+      i = end;
+    }
+  }
+  pending.clear();
+  if (!rec.runs.empty()) {
+    sink_->Append(node, rec);
+  }
+}
+
+}  // namespace wkld
+}  // namespace hlrc

@@ -1,0 +1,68 @@
+// TraceRecorder — captures a running application's shared-access and
+// synchronization behavior through the System's WorkloadObserver hooks.
+//
+// Access grants are recorded as-is. Stored *values* are captured by
+// snapshot-and-diff: when a grant containing write ranges completes, the
+// recorder snapshots those ranges from the node's memory; at the node's
+// next operation (the earliest point after which no further stores can
+// have happened — stores execute synchronously between two NodeContext
+// calls) it diffs the snapshot against memory and emits the changed byte
+// runs. This makes the capture exact: replaying the grants and the runs
+// reproduces the node's page contents, and therefore the protocol's diffs,
+// fetches and message counts, bit for bit.
+//
+// Recording is pure observation — it never awaits, charges time, or
+// touches protocol state, so a recorded run is time-identical to an
+// unrecorded one.
+#ifndef SRC_WKLD_RECORDER_H_
+#define SRC_WKLD_RECORDER_H_
+
+#include <vector>
+
+#include "src/svm/system.h"
+#include "src/svm/workload_observer.h"
+#include "src/wkld/workload.h"
+
+namespace hlrc {
+namespace wkld {
+
+// Builds the header metadata for a recording of `app` under `config`.
+TraceInfo MakeTraceInfo(const SimConfig& config, const std::string& app,
+                        const std::string& meta);
+
+class TraceRecorder : public WorkloadObserver {
+ public:
+  // Both pointers are borrowed and must outlive the recorder. Install with
+  // system->SetWorkloadObserver(&recorder) before App::Setup.
+  TraceRecorder(System* system, WorkloadSink* sink);
+
+  void OnAlloc(GlobalAddr addr, int64_t bytes, bool page_aligned) override;
+  void OnStep(NodeId node) override;
+  void OnCompute(NodeId node, SimTime duration) override;
+  void OnAccess(NodeId node, const std::vector<AccessRange>& ranges) override;
+  void OnLock(NodeId node, LockId lock) override;
+  void OnUnlock(NodeId node, LockId lock) override;
+  void OnBarrier(NodeId node, BarrierId barrier) override;
+  void OnPhase(NodeId node, int phase) override;
+  void OnFinish(NodeId node) override;
+
+ private:
+  // One write range granted to the node, with its byte values at grant time.
+  struct PendingWrite {
+    GlobalAddr addr = 0;
+    std::vector<uint8_t> snapshot;
+  };
+
+  // Diffs node's pending snapshots against current memory, emits a kWrites
+  // record if anything changed, and clears the pending set.
+  void FlushWrites(NodeId node);
+
+  System* system_;
+  WorkloadSink* sink_;
+  std::vector<std::vector<PendingWrite>> pending_;
+};
+
+}  // namespace wkld
+}  // namespace hlrc
+
+#endif  // SRC_WKLD_RECORDER_H_

@@ -1,0 +1,518 @@
+#include "src/wkld/trace_file.h"
+
+#include <cstring>
+
+#include "src/common/check.h"
+
+namespace hlrc {
+namespace wkld {
+
+namespace {
+
+// Per-node buffers are flushed as a chunk once they exceed this.
+constexpr size_t kChunkFlushBytes = 64 * 1024;
+constexpr uint32_t kEndMarkerNode = 0xFFFFFFFFu;
+
+void EncodeRecord(const Record& rec, Buffer& out, GlobalAddr* last_addr) {
+  out.push_back(static_cast<uint8_t>(rec.kind));
+  switch (rec.kind) {
+    case Record::Kind::kCompute:
+      PutVarint(out, static_cast<uint64_t>(rec.duration_ns));
+      break;
+    case Record::Kind::kAccess:
+      PutVarint(out, rec.ranges.size());
+      for (const AccessRange& r : rec.ranges) {
+        PutZigZag(out, static_cast<int64_t>(r.addr) - static_cast<int64_t>(*last_addr));
+        PutVarint(out, static_cast<uint64_t>(r.bytes));
+        out.push_back(r.write ? 1 : 0);
+        *last_addr = r.addr + static_cast<GlobalAddr>(r.bytes);
+      }
+      break;
+    case Record::Kind::kWrites:
+      PutVarint(out, rec.runs.size());
+      for (const WriteRun& run : rec.runs) {
+        PutZigZag(out, static_cast<int64_t>(run.addr) - static_cast<int64_t>(*last_addr));
+        PutVarint(out, run.bytes.size());
+        out.insert(out.end(), run.bytes.begin(), run.bytes.end());
+        *last_addr = run.addr + static_cast<GlobalAddr>(run.bytes.size());
+      }
+      break;
+    case Record::Kind::kLock:
+    case Record::Kind::kUnlock:
+    case Record::Kind::kBarrier:
+    case Record::Kind::kPhase:
+      PutZigZag(out, rec.sync_id);
+      break;
+    case Record::Kind::kEnd:
+      break;
+  }
+}
+
+bool DecodeRecord(ByteReader& in, Record* rec, GlobalAddr* last_addr) {
+  uint8_t kind_byte;
+  if (!in.ReadU8(&kind_byte)) {
+    return false;
+  }
+  if (kind_byte < static_cast<uint8_t>(Record::Kind::kCompute) ||
+      kind_byte > static_cast<uint8_t>(Record::Kind::kEnd)) {
+    return false;
+  }
+  *rec = Record{};
+  rec->kind = static_cast<Record::Kind>(kind_byte);
+  switch (rec->kind) {
+    case Record::Kind::kCompute: {
+      uint64_t ns;
+      if (!in.ReadVarint(&ns)) {
+        return false;
+      }
+      rec->duration_ns = static_cast<int64_t>(ns);
+      return true;
+    }
+    case Record::Kind::kAccess: {
+      uint64_t count;
+      if (!in.ReadVarint(&count) || count > (1u << 20)) {
+        return false;
+      }
+      rec->ranges.reserve(static_cast<size_t>(count));
+      for (uint64_t i = 0; i < count; ++i) {
+        int64_t delta;
+        uint64_t bytes;
+        uint8_t write;
+        if (!in.ReadZigZag(&delta) || !in.ReadVarint(&bytes) || !in.ReadU8(&write) ||
+            write > 1) {
+          return false;
+        }
+        AccessRange r;
+        r.addr = static_cast<GlobalAddr>(static_cast<int64_t>(*last_addr) + delta);
+        r.bytes = static_cast<int64_t>(bytes);
+        r.write = write != 0;
+        *last_addr = r.addr + static_cast<GlobalAddr>(r.bytes);
+        rec->ranges.push_back(r);
+      }
+      return true;
+    }
+    case Record::Kind::kWrites: {
+      uint64_t count;
+      if (!in.ReadVarint(&count) || count > (1u << 24)) {
+        return false;
+      }
+      rec->runs.reserve(static_cast<size_t>(count));
+      for (uint64_t i = 0; i < count; ++i) {
+        int64_t delta;
+        uint64_t len;
+        if (!in.ReadZigZag(&delta) || !in.ReadVarint(&len)) {
+          return false;
+        }
+        WriteRun run;
+        run.addr = static_cast<GlobalAddr>(static_cast<int64_t>(*last_addr) + delta);
+        run.bytes.resize(static_cast<size_t>(len));
+        if (!in.ReadBytes(run.bytes.data(), run.bytes.size())) {
+          return false;
+        }
+        *last_addr = run.addr + static_cast<GlobalAddr>(run.bytes.size());
+        rec->runs.push_back(std::move(run));
+      }
+      return true;
+    }
+    case Record::Kind::kLock:
+    case Record::Kind::kUnlock:
+    case Record::Kind::kBarrier:
+    case Record::Kind::kPhase:
+      return in.ReadZigZag(&rec->sync_id);
+    case Record::Kind::kEnd:
+      return true;
+  }
+  return false;
+}
+
+void EncodeHeader(const TraceInfo& info, Buffer& out) {
+  PutVarint(out, static_cast<uint64_t>(info.nodes));
+  PutVarint(out, static_cast<uint64_t>(info.page_size));
+  PutVarint(out, static_cast<uint64_t>(info.shared_bytes));
+  PutVarint(out, info.app.size());
+  out.insert(out.end(), info.app.begin(), info.app.end());
+  PutVarint(out, info.meta.size());
+  out.insert(out.end(), info.meta.begin(), info.meta.end());
+  PutVarint(out, info.allocs.size());
+  GlobalAddr last = 0;
+  for (const AllocEntry& a : info.allocs) {
+    PutZigZag(out, static_cast<int64_t>(a.addr) - static_cast<int64_t>(last));
+    PutVarint(out, static_cast<uint64_t>(a.bytes));
+    out.push_back(a.page_aligned ? 1 : 0);
+    last = a.addr;
+  }
+}
+
+bool DecodeHeader(const Buffer& payload, TraceInfo* info) {
+  ByteReader in(payload.data(), payload.size());
+  uint64_t nodes, page_size, shared_bytes, len;
+  if (!in.ReadVarint(&nodes) || !in.ReadVarint(&page_size) || !in.ReadVarint(&shared_bytes)) {
+    return false;
+  }
+  info->nodes = static_cast<int>(nodes);
+  info->page_size = static_cast<int64_t>(page_size);
+  info->shared_bytes = static_cast<int64_t>(shared_bytes);
+  if (!in.ReadVarint(&len) || len > payload.size()) {
+    return false;
+  }
+  info->app.resize(static_cast<size_t>(len));
+  if (!in.ReadBytes(reinterpret_cast<uint8_t*>(info->app.data()), info->app.size())) {
+    return false;
+  }
+  if (!in.ReadVarint(&len) || len > payload.size()) {
+    return false;
+  }
+  info->meta.resize(static_cast<size_t>(len));
+  if (!in.ReadBytes(reinterpret_cast<uint8_t*>(info->meta.data()), info->meta.size())) {
+    return false;
+  }
+  uint64_t count;
+  if (!in.ReadVarint(&count) || count > (1u << 20)) {
+    return false;
+  }
+  GlobalAddr last = 0;
+  info->allocs.reserve(static_cast<size_t>(count));
+  for (uint64_t i = 0; i < count; ++i) {
+    int64_t delta;
+    uint64_t bytes;
+    uint8_t aligned;
+    if (!in.ReadZigZag(&delta) || !in.ReadVarint(&bytes) || !in.ReadU8(&aligned) ||
+        aligned > 1) {
+      return false;
+    }
+    AllocEntry a;
+    a.addr = static_cast<GlobalAddr>(static_cast<int64_t>(last) + delta);
+    a.bytes = static_cast<int64_t>(bytes);
+    a.page_aligned = aligned != 0;
+    last = a.addr;
+    info->allocs.push_back(a);
+  }
+  return in.AtEnd();
+}
+
+void FWrite(std::FILE* f, const void* data, size_t n, const std::string& path) {
+  HLRC_CHECK_MSG(std::fwrite(data, 1, n, f) == n, "short write to trace file %s",
+                 path.c_str());
+}
+
+}  // namespace
+
+const char* RecordKindName(Record::Kind kind) {
+  switch (kind) {
+    case Record::Kind::kCompute:
+      return "COMPUTE";
+    case Record::Kind::kAccess:
+      return "ACCESS";
+    case Record::Kind::kWrites:
+      return "WRITES";
+    case Record::Kind::kLock:
+      return "LOCK";
+    case Record::Kind::kUnlock:
+      return "UNLOCK";
+    case Record::Kind::kBarrier:
+      return "BARRIER";
+    case Record::Kind::kPhase:
+      return "PHASE";
+    case Record::Kind::kEnd:
+      return "END";
+  }
+  return "?";
+}
+
+// ---- TraceWriter -----------------------------------------------------------
+
+TraceWriter::TraceWriter(const std::string& path, TraceInfo info)
+    : path_(path), info_(std::move(info)) {
+  HLRC_CHECK_MSG(info_.nodes > 0, "trace needs at least one node");
+  file_ = std::fopen(path.c_str(), "wb");
+  HLRC_CHECK_MSG(file_ != nullptr, "cannot open trace file %s for writing", path.c_str());
+  bufs_.resize(static_cast<size_t>(info_.nodes));
+}
+
+TraceWriter::~TraceWriter() {
+  if (!finished_) {
+    Finish();
+  }
+}
+
+void TraceWriter::Alloc(const AllocEntry& entry) {
+  HLRC_CHECK_MSG(!header_written_, "Alloc() after first Append(): allocations must all "
+                                   "happen during Setup, before any node runs");
+  info_.allocs.push_back(entry);
+}
+
+void TraceWriter::WriteHeaderIfNeeded() {
+  if (header_written_) {
+    return;
+  }
+  header_written_ = true;
+  Buffer payload;
+  EncodeHeader(info_, payload);
+  Buffer head;
+  head.insert(head.end(), kTraceMagic, kTraceMagic + sizeof(kTraceMagic));
+  PutU32(head, kTraceVersion);
+  PutU32(head, static_cast<uint32_t>(payload.size()));
+  head.insert(head.end(), payload.begin(), payload.end());
+  PutU32(head, Crc32(payload));
+  FWrite(file_, head.data(), head.size(), path_);
+}
+
+void TraceWriter::Append(int node, const Record& record) {
+  HLRC_CHECK(node >= 0 && static_cast<size_t>(node) < bufs_.size());
+  HLRC_CHECK(!finished_);
+  WriteHeaderIfNeeded();
+  NodeBuf& buf = bufs_[static_cast<size_t>(node)];
+  HLRC_CHECK_MSG(!buf.ended, "Append() after kEnd for node %d", node);
+  EncodeRecord(record, buf.pending, &buf.last_addr);
+  if (record.kind == Record::Kind::kEnd) {
+    buf.ended = true;
+  }
+  if (buf.pending.size() >= kChunkFlushBytes) {
+    FlushNode(static_cast<uint32_t>(node));
+  }
+}
+
+void TraceWriter::FlushNode(uint32_t node) {
+  NodeBuf& buf = bufs_[node];
+  if (buf.pending.empty()) {
+    return;
+  }
+  Buffer head;
+  PutU32(head, node);
+  PutU32(head, static_cast<uint32_t>(buf.pending.size()));
+  PutU32(head, Crc32(buf.pending));
+  FWrite(file_, head.data(), head.size(), path_);
+  FWrite(file_, buf.pending.data(), buf.pending.size(), path_);
+  buf.pending.clear();
+}
+
+void TraceWriter::Finish() {
+  HLRC_CHECK(!finished_);
+  finished_ = true;
+  WriteHeaderIfNeeded();  // Header even for an empty trace.
+  for (uint32_t n = 0; n < bufs_.size(); ++n) {
+    FlushNode(n);
+  }
+  Buffer marker;
+  PutU32(marker, kEndMarkerNode);
+  PutU32(marker, 0);
+  PutU32(marker, 0);
+  FWrite(file_, marker.data(), marker.size(), path_);
+  HLRC_CHECK_MSG(std::fclose(file_) == 0, "close failed for trace file %s", path_.c_str());
+  file_ = nullptr;
+}
+
+// ---- TraceReader -----------------------------------------------------------
+
+std::unique_ptr<TraceReader> TraceReader::Open(const std::string& path, std::string* error) {
+  auto fail = [&](const std::string& why) -> std::unique_ptr<TraceReader> {
+    if (error != nullptr) {
+      *error = path + ": " + why;
+    }
+    return nullptr;
+  };
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) {
+    return fail("cannot open");
+  }
+  uint8_t fixed[16];
+  if (std::fread(fixed, 1, sizeof(fixed), f) != sizeof(fixed)) {
+    std::fclose(f);
+    return fail("truncated header");
+  }
+  if (std::memcmp(fixed, kTraceMagic, sizeof(kTraceMagic)) != 0) {
+    std::fclose(f);
+    return fail("not a workload trace (bad magic)");
+  }
+  const uint32_t version = GetU32(fixed + 8);
+  if (version != kTraceVersion) {
+    std::fclose(f);
+    return fail("unsupported trace version " + std::to_string(version) + " (expected " +
+                std::to_string(kTraceVersion) + ")");
+  }
+  const uint32_t header_len = GetU32(fixed + 12);
+  if (header_len > (1u << 28)) {
+    std::fclose(f);
+    return fail("implausible header length");
+  }
+  Buffer payload(header_len);
+  if (header_len != 0 && std::fread(payload.data(), 1, header_len, f) != header_len) {
+    std::fclose(f);
+    return fail("truncated header payload");
+  }
+  uint8_t crc_bytes[4];
+  if (std::fread(crc_bytes, 1, 4, f) != 4) {
+    std::fclose(f);
+    return fail("truncated header CRC");
+  }
+  if (GetU32(crc_bytes) != Crc32(payload)) {
+    std::fclose(f);
+    return fail("header CRC mismatch (file corrupt)");
+  }
+  auto reader = std::unique_ptr<TraceReader>(new TraceReader());
+  reader->path_ = path;
+  if (!DecodeHeader(payload, &reader->info_)) {
+    std::fclose(f);
+    return fail("malformed header payload");
+  }
+  reader->first_chunk_off_ = std::ftell(f);
+  std::fclose(f);
+  if (reader->info_.nodes <= 0) {
+    return fail("trace declares no nodes");
+  }
+  return reader;
+}
+
+std::unique_ptr<TraceReader::Stream> TraceReader::OpenStream(int node,
+                                                             std::string* error) const {
+  if (node < 0 || node >= info_.nodes) {
+    if (error != nullptr) {
+      *error = path_ + ": node " + std::to_string(node) + " out of range";
+    }
+    return nullptr;
+  }
+  std::FILE* f = std::fopen(path_.c_str(), "rb");
+  if (f == nullptr) {
+    if (error != nullptr) {
+      *error = path_ + ": cannot reopen";
+    }
+    return nullptr;
+  }
+  return std::unique_ptr<Stream>(
+      new Stream(f, static_cast<uint32_t>(node), first_chunk_off_));
+}
+
+TraceReader::Stream::Stream(std::FILE* file, uint32_t node, long first_chunk_off)
+    : file_(file), node_(node) {
+  std::fseek(file_, first_chunk_off, SEEK_SET);
+}
+
+TraceReader::Stream::~Stream() {
+  if (file_ != nullptr) {
+    std::fclose(file_);
+  }
+}
+
+bool TraceReader::Stream::LoadChunk(std::string* error) {
+  while (true) {
+    uint8_t head[12];
+    if (std::fread(head, 1, sizeof(head), file_) != sizeof(head)) {
+      *error = "trace truncated: no end marker";
+      return false;
+    }
+    const uint32_t node = GetU32(head);
+    const uint32_t len = GetU32(head + 4);
+    const uint32_t crc = GetU32(head + 8);
+    if (node == kEndMarkerNode) {
+      *error = "trace ended before node " + std::to_string(node_) + "'s END record";
+      return false;
+    }
+    if (len == 0 || len > (1u << 28)) {
+      *error = "implausible chunk length";
+      return false;
+    }
+    if (node != node_) {
+      if (std::fseek(file_, static_cast<long>(len), SEEK_CUR) != 0) {
+        *error = "trace truncated mid-chunk";
+        return false;
+      }
+      continue;
+    }
+    chunk_.resize(len);
+    if (std::fread(chunk_.data(), 1, len, file_) != len) {
+      *error = "trace truncated mid-chunk";
+      return false;
+    }
+    if (Crc32(chunk_) != crc) {
+      *error = "chunk CRC mismatch for node " + std::to_string(node_) + " (file corrupt)";
+      return false;
+    }
+    chunk_pos_ = 0;
+    return true;
+  }
+}
+
+bool TraceReader::Stream::Next(Record* record, std::string* error) {
+  error->clear();
+  if (done_) {
+    return false;
+  }
+  if (chunk_pos_ == chunk_.size()) {
+    if (!LoadChunk(error)) {
+      done_ = true;
+      return false;
+    }
+  }
+  ByteReader in(chunk_.data() + chunk_pos_, chunk_.size() - chunk_pos_);
+  if (!DecodeRecord(in, record, &last_addr_)) {
+    *error = "malformed record for node " + std::to_string(node_);
+    done_ = true;
+    return false;
+  }
+  chunk_pos_ += in.pos();
+  if (record->kind == Record::Kind::kEnd) {
+    done_ = true;
+  }
+  return true;
+}
+
+// ---- convenience -----------------------------------------------------------
+
+bool ReadTrace(const std::string& path, WorkloadSink* sink, TraceInfo* info,
+               std::string* error) {
+  std::string local_error;
+  if (error == nullptr) {
+    error = &local_error;
+  }
+  auto reader = TraceReader::Open(path, error);
+  if (reader == nullptr) {
+    return false;
+  }
+  if (info != nullptr) {
+    *info = reader->info();
+  }
+  if (sink != nullptr) {
+    for (const AllocEntry& a : reader->info().allocs) {
+      sink->Alloc(a);
+    }
+  }
+  for (int node = 0; node < reader->info().nodes; ++node) {
+    auto stream = reader->OpenStream(node, error);
+    if (stream == nullptr) {
+      return false;
+    }
+    Record rec;
+    bool saw_end = false;
+    while (stream->Next(&rec, error)) {
+      if (sink != nullptr) {
+        sink->Append(node, rec);
+      }
+      saw_end = rec.kind == Record::Kind::kEnd;
+    }
+    if (!error->empty()) {
+      return false;
+    }
+    if (!saw_end) {
+      *error = path + ": node " + std::to_string(node) + " stream missing END record";
+      return false;
+    }
+  }
+  return true;
+}
+
+void WriteTrace(const std::string& path, TraceInfo info, const VectorSink& workload) {
+  HLRC_CHECK(info.nodes == workload.nodes());
+  TraceWriter writer(path, std::move(info));
+  for (const AllocEntry& a : workload.allocs()) {
+    writer.Alloc(a);
+  }
+  for (int node = 0; node < workload.nodes(); ++node) {
+    for (const Record& rec : workload.stream(node)) {
+      writer.Append(node, rec);
+    }
+  }
+  writer.Finish();
+}
+
+}  // namespace wkld
+}  // namespace hlrc

@@ -1,0 +1,136 @@
+// Versioned on-disk container for workload traces.
+//
+// Layout (all integers little-endian; see docs/WORKLOADS.md for the spec):
+//
+//   magic   "SVMWKLD\x1a"                                  8 bytes
+//   u32     format version (kTraceVersion)
+//   u32     header payload length
+//   bytes   header payload (varint-encoded TraceInfo + alloc table)
+//   u32     CRC-32 of the header payload
+//   chunk*  { u32 node, u32 payload_len, u32 crc, payload }
+//   chunk   end marker: node = 0xFFFFFFFF, payload_len = 0, crc = 0
+//
+// Each chunk carries whole records for one node (records never span
+// chunks); within a node's chunk sequence, addresses are delta-encoded
+// against the end of that node's previous range/run. The writer streams:
+// per-node buffers are flushed as chunks once they pass a size threshold,
+// so a trace never has to fit in memory. The reader opens one independent
+// file cursor per node stream, so replay can pull all node streams
+// concurrently without materializing the trace either.
+#ifndef SRC_WKLD_TRACE_FILE_H_
+#define SRC_WKLD_TRACE_FILE_H_
+
+#include <cstdint>
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/wkld/wire.h"
+#include "src/wkld/workload.h"
+
+namespace hlrc {
+namespace wkld {
+
+inline constexpr char kTraceMagic[8] = {'S', 'V', 'M', 'W', 'K', 'L', 'D', '\x1a'};
+inline constexpr uint32_t kTraceVersion = 1;
+
+// Streaming writer. Alloc() calls must all precede the first Append(); the
+// header (which embeds the allocation table) is emitted lazily at that
+// point. Append() may interleave nodes arbitrarily. Finish() (or the
+// destructor) flushes remaining buffers and writes the end marker.
+class TraceWriter : public WorkloadSink {
+ public:
+  // Dies on I/O failure (traces are produced locally; failing fast beats
+  // silently dropping a recording).
+  TraceWriter(const std::string& path, TraceInfo info);
+  ~TraceWriter() override;
+
+  TraceWriter(const TraceWriter&) = delete;
+  TraceWriter& operator=(const TraceWriter&) = delete;
+
+  void Alloc(const AllocEntry& entry) override;
+  void Append(int node, const Record& record) override;
+
+  void Finish();
+
+ private:
+  struct NodeBuf {
+    Buffer pending;
+    GlobalAddr last_addr = 0;  // Delta base for range/run addresses.
+    bool ended = false;        // kEnd appended; stream is sealed.
+  };
+
+  void WriteHeaderIfNeeded();
+  void FlushNode(uint32_t node);
+
+  std::string path_;
+  TraceInfo info_;
+  std::FILE* file_ = nullptr;
+  std::vector<NodeBuf> bufs_;
+  bool header_written_ = false;
+  bool finished_ = false;
+};
+
+// Validating reader. Open() checks magic, version and header CRC and
+// returns nullptr with a human-readable *error on any mismatch — corrupt
+// input is an expected condition, not a crash.
+class TraceReader {
+ public:
+  static std::unique_ptr<TraceReader> Open(const std::string& path, std::string* error);
+  ~TraceReader() = default;
+
+  const TraceInfo& info() const { return info_; }
+
+  // Sequential cursor over one node's records, backed by a private file
+  // handle. Next() returns true and fills *record until the stream's kEnd
+  // record (inclusive); after that it returns false with *error empty.
+  // Corruption (bad chunk CRC, malformed record, truncation before kEnd)
+  // returns false with *error set.
+  class Stream {
+   public:
+    ~Stream();
+    Stream(const Stream&) = delete;
+    Stream& operator=(const Stream&) = delete;
+
+    bool Next(Record* record, std::string* error);
+
+   private:
+    friend class TraceReader;
+    Stream(std::FILE* file, uint32_t node, long first_chunk_off);
+
+    // Loads the next chunk for node_ into chunk_, skipping other nodes'
+    // chunks. Returns false at end marker (or error).
+    bool LoadChunk(std::string* error);
+
+    std::FILE* file_;
+    uint32_t node_;
+    Buffer chunk_;
+    size_t chunk_pos_ = 0;
+    GlobalAddr last_addr_ = 0;
+    bool done_ = false;
+  };
+
+  std::unique_ptr<Stream> OpenStream(int node, std::string* error) const;
+
+ private:
+  TraceReader() = default;
+
+  std::string path_;
+  TraceInfo info_;
+  long first_chunk_off_ = 0;
+};
+
+// Convenience: read an entire trace into `sink`, validating every chunk.
+// Returns false with *error set on any corruption. *info receives the
+// header metadata when non-null.
+bool ReadTrace(const std::string& path, WorkloadSink* sink, TraceInfo* info,
+               std::string* error);
+
+// Convenience: write a complete in-memory workload as a trace file.
+void WriteTrace(const std::string& path, TraceInfo info, const VectorSink& workload);
+
+}  // namespace wkld
+}  // namespace hlrc
+
+#endif  // SRC_WKLD_TRACE_FILE_H_

@@ -1,0 +1,119 @@
+// Core data model of the workload subsystem: the record stream every
+// producer (recorder, synthetic generator) emits and every consumer
+// (trace writer, replay app, stats) consumes.
+//
+// A workload is, per node, a flat sequence of Records describing what the
+// node's program did between synchronization points: how long it computed,
+// which shared ranges it accessed (and with what intent), which bytes it
+// actually stored, and which sync operations it issued. Replaying the
+// sequence through a NodeContext reproduces the original run's protocol
+// behavior exactly — see docs/WORKLOADS.md for the argument.
+#ifndef SRC_WKLD_WORKLOAD_H_
+#define SRC_WKLD_WORKLOAD_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/common/check.h"
+#include "src/svm/workload_observer.h"
+
+namespace hlrc {
+namespace wkld {
+
+// One contiguous run of bytes stored by the node, with the stored values.
+struct WriteRun {
+  GlobalAddr addr = 0;
+  std::vector<uint8_t> bytes;
+
+  bool operator==(const WriteRun& o) const { return addr == o.addr && bytes == o.bytes; }
+};
+
+// One event in a node's stream. Which fields are meaningful depends on kind.
+struct Record {
+  enum class Kind : uint8_t {
+    kCompute = 1,  // duration_ns
+    kAccess = 2,   // ranges
+    kWrites = 3,   // runs (values stored after the preceding kAccess)
+    kLock = 4,     // sync_id
+    kUnlock = 5,   // sync_id
+    kBarrier = 6,  // sync_id
+    kPhase = 7,    // sync_id (phase number)
+    kEnd = 8,      // terminator; exactly one per node stream
+  };
+
+  Kind kind = Kind::kEnd;
+  int64_t duration_ns = 0;
+  int64_t sync_id = 0;
+  std::vector<AccessRange> ranges;
+  std::vector<WriteRun> runs;
+
+  bool operator==(const Record& o) const {
+    return kind == o.kind && duration_ns == o.duration_ns && sync_id == o.sync_id &&
+           ranges == o.ranges && runs == o.runs;
+  }
+};
+
+const char* RecordKindName(Record::Kind kind);
+
+// One shared-space allocation made during App::Setup, in program order.
+// Replay re-issues these before running so GlobalAddrs in the stream
+// resolve to the same pages.
+struct AllocEntry {
+  GlobalAddr addr = 0;
+  int64_t bytes = 0;
+  bool page_aligned = false;
+
+  bool operator==(const AllocEntry& o) const {
+    return addr == o.addr && bytes == o.bytes && page_aligned == o.page_aligned;
+  }
+};
+
+// Trace-wide metadata, serialized in the file header.
+struct TraceInfo {
+  int nodes = 0;
+  int64_t page_size = 0;
+  int64_t shared_bytes = 0;
+  std::string app;   // Source app name ("sor", "synth-migratory", ...).
+  std::string meta;  // Free-form provenance (config summary, seed, ...).
+  std::vector<AllocEntry> allocs;
+};
+
+// Consumer interface for a workload as it is produced. TraceWriter streams
+// records to disk; tests collect them in memory.
+class WorkloadSink {
+ public:
+  virtual ~WorkloadSink() = default;
+
+  // Allocations arrive first (during Setup), then per-node records in any
+  // node interleaving; records for one node arrive in program order.
+  virtual void Alloc(const AllocEntry& entry) = 0;
+  virtual void Append(int node, const Record& record) = 0;
+};
+
+// In-memory sink: the simplest consumer, used by the generator and tests.
+class VectorSink : public WorkloadSink {
+ public:
+  explicit VectorSink(int nodes) : streams_(static_cast<size_t>(nodes)) {}
+
+  void Alloc(const AllocEntry& entry) override { allocs_.push_back(entry); }
+  void Append(int node, const Record& record) override {
+    HLRC_CHECK(node >= 0 && static_cast<size_t>(node) < streams_.size());
+    streams_[static_cast<size_t>(node)].push_back(record);
+  }
+
+  const std::vector<AllocEntry>& allocs() const { return allocs_; }
+  const std::vector<Record>& stream(int node) const {
+    return streams_[static_cast<size_t>(node)];
+  }
+  int nodes() const { return static_cast<int>(streams_.size()); }
+
+ private:
+  std::vector<AllocEntry> allocs_;
+  std::vector<std::vector<Record>> streams_;
+};
+
+}  // namespace wkld
+}  // namespace hlrc
+
+#endif  // SRC_WKLD_WORKLOAD_H_

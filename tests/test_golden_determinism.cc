@@ -24,6 +24,9 @@
 
 #include "src/apps/app.h"
 #include "src/check/explorer.h"
+#include "src/wkld/recorder.h"
+#include "src/wkld/replay.h"
+#include "src/wkld/trace_file.h"
 
 namespace hlrc {
 namespace {
@@ -136,6 +139,43 @@ TEST(GoldenDeterminism, ParallelSweepMatchesSerialSweep) {
   EXPECT_EQ(serial.writes_recorded, parallel.writes_recorded);
   EXPECT_EQ(serial_failures, parallel_failures);
   EXPECT_GT(serial.failures, 0) << "mutation produced no failures; parity test is vacuous";
+}
+
+// Trace replay is pinned to the same bar as repeated runs: a recorded run
+// replayed from its trace file must reproduce the original summary line bit
+// for bit (src/wkld). Recording itself must also be pure observation.
+TEST(GoldenDeterminism, ReplayReproducesRecordedRun) {
+  const std::string path = ::testing::TempDir() + "/golden-replay.wkld";
+  SimConfig cfg;
+  cfg.nodes = kNodes;
+  cfg.protocol.kind = ProtocolKind::kHlrc;
+
+  std::string recorded;
+  {
+    std::unique_ptr<App> app = MakeApp("sor", AppScale::kTiny);
+    System sys(cfg);
+    wkld::TraceWriter writer(path, wkld::MakeTraceInfo(cfg, app->name(), "golden"));
+    wkld::TraceRecorder recorder(&sys, &writer);
+    sys.SetWorkloadObserver(&recorder);
+    app->Setup(sys);
+    sys.Run(app->Program());
+    writer.Finish();
+    std::string why;
+    ASSERT_TRUE(app->Verify(sys, &why)) << why;
+    recorded = FormatSummary("sor", ProtocolKind::kHlrc, sys.report());
+  }
+  EXPECT_EQ(SummaryLine("sor", ProtocolKind::kHlrc), recorded)
+      << "recording perturbed the run it observed";
+
+  std::string error;
+  std::unique_ptr<wkld::TraceReplayApp> replay = wkld::TraceReplayApp::Open(path, &error);
+  ASSERT_NE(nullptr, replay) << error;
+  System sys(cfg);
+  replay->Setup(sys);
+  sys.Run(replay->Program());
+  std::string why;
+  ASSERT_TRUE(replay->Verify(sys, &why)) << why;
+  EXPECT_EQ(recorded, FormatSummary("sor", ProtocolKind::kHlrc, sys.report()));
 }
 
 TEST(GoldenDeterminism, SummaryMatchesCheckedInGolden) {

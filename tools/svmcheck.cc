@@ -183,6 +183,22 @@ Options Parse(int argc, char** argv) {
   if (o.litmus.empty()) {
     o.litmus = LitmusNames();
   }
+  // Validate names up front: a typo should list the alternatives, not abort
+  // mid-sweep inside MakeLitmus.
+  for (const std::string& name : o.litmus) {
+    bool known = false;
+    for (const std::string& l : LitmusNames()) {
+      known = known || l == name;
+    }
+    if (!known) {
+      std::fprintf(stderr, "unknown litmus '%s'; known litmus tests:", name.c_str());
+      for (const std::string& l : LitmusNames()) {
+        std::fprintf(stderr, " %s", l.c_str());
+      }
+      std::fprintf(stderr, "\n");
+      std::exit(2);
+    }
+  }
   if (o.protocols.empty()) {
     o.protocols = {ProtocolKind::kLrc, ProtocolKind::kErc, ProtocolKind::kHlrc,
                    ProtocolKind::kAurc};

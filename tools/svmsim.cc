@@ -25,6 +25,13 @@
 //                         (events processed, events/sec, peak RSS)
 //   --seed=N              root seed (application inputs + fault injector)
 //
+// Workload capture & replay (docs/WORKLOADS.md):
+//   --record-trace=FILE   record the run's shared-access/sync workload into
+//                         a trace file (pure observation; timing unchanged)
+//   --replay-trace=FILE   replay a recorded trace instead of running an app
+//                         (defaults --nodes/--page-size to the trace header;
+//                         combine with --protocol to cross-replay)
+//
 // Observability (docs/OBSERVABILITY.md):
 //   --metrics-out=FILE    write a versioned JSON run summary (latency
 //                         histograms, time-series samples, hot pages);
@@ -61,14 +68,22 @@
 #include "src/metrics/sampler.h"
 #include "src/svm/run_summary.h"
 #include "src/svm/system.h"
+#include "src/wkld/recorder.h"
+#include "src/wkld/replay.h"
+#include "src/wkld/trace_file.h"
 
 namespace hlrc {
 namespace {
 
 struct Options {
   std::string app = "sor";
+  bool app_set = false;
+  std::string record_trace_path;
+  std::string replay_trace_path;
   ProtocolKind protocol = ProtocolKind::kHlrc;
   int nodes = 8;
+  bool nodes_set = false;
+  bool page_size_set = false;
   AppScale scale = AppScale::kDefault;
   int64_t page_size = 4096;
   HomePolicy home = HomePolicy::kBlock;
@@ -100,6 +115,7 @@ struct Options {
                "              [--seed=N] [--fault-drop=P] [--fault-dup=P] [--fault-delay=P]\n"
                "              [--fault-corrupt=P] [--fault-seed=N] [--partition=a-b@t0..t1]\n"
                "              [--reliable] [--retry-timeout=US] [--retry-max=N]\n"
+               "              [--record-trace=FILE] [--replay-trace=FILE]\n"
                "       svmsim --list\n");
   std::exit(2);
 }
@@ -139,23 +155,30 @@ Options Parse(int argc, char** argv) {
     auto val = [&](const char* p) { return arg.substr(std::strlen(p)); };
     if (arg == "--list") {
       std::printf("applications:");
-      for (const std::string& a : AllAppNames()) {
+      for (const std::string& a : RegisteredAppNames()) {
         std::printf(" %s", a.c_str());
       }
       std::printf("\nprotocols: lrc olrc hlrc ohlrc erc aurc\n");
       std::exit(0);
     } else if (arg.rfind("--app=", 0) == 0) {
       o.app = val("--app=");
+      o.app_set = true;
+    } else if (arg.rfind("--record-trace=", 0) == 0) {
+      o.record_trace_path = val("--record-trace=");
+    } else if (arg.rfind("--replay-trace=", 0) == 0) {
+      o.replay_trace_path = val("--replay-trace=");
     } else if (arg.rfind("--protocol=", 0) == 0) {
       o.protocol = ParseProtocol(val("--protocol="));
     } else if (arg.rfind("--nodes=", 0) == 0) {
       o.nodes = std::atoi(val("--nodes=").c_str());
+      o.nodes_set = true;
     } else if (arg.rfind("--scale=", 0) == 0) {
       const std::string s = val("--scale=");
       o.scale = s == "tiny" ? AppScale::kTiny
                             : (s == "paper" ? AppScale::kPaper : AppScale::kDefault);
     } else if (arg.rfind("--page-size=", 0) == 0) {
       o.page_size = std::atoll(val("--page-size=").c_str());
+      o.page_size_set = true;
     } else if (arg.rfind("--home=", 0) == 0) {
       const std::string s = val("--home=");
       o.home = s == "round-robin"
@@ -225,11 +248,39 @@ Options Parse(int argc, char** argv) {
 int Main(int argc, char** argv) {
   const Options o = Parse(argc, argv);
 
+  // Replay substitutes the trace for an application and inherits the
+  // recorded topology unless flags override it explicitly.
+  std::unique_ptr<wkld::TraceReplayApp> replay_app;
+  if (!o.replay_trace_path.empty()) {
+    if (o.app_set) {
+      std::fprintf(stderr, "--replay-trace and --app are mutually exclusive\n");
+      return 2;
+    }
+    std::string err;
+    replay_app = wkld::TraceReplayApp::Open(o.replay_trace_path, &err);
+    if (replay_app == nullptr) {
+      std::fprintf(stderr, "cannot replay: %s\n", err.c_str());
+      return 2;
+    }
+  }
+
   SimConfig cfg;
   cfg.nodes = o.nodes;
   cfg.page_size = o.page_size;
   cfg.shared_bytes = 256ll << 20;
   cfg.seed = o.seed;
+  if (replay_app != nullptr) {
+    const wkld::TraceInfo& info = replay_app->info();
+    if (!o.nodes_set) {
+      cfg.nodes = info.nodes;
+    }
+    if (!o.page_size_set) {
+      cfg.page_size = info.page_size;
+    }
+    if (info.shared_bytes > 0) {
+      cfg.shared_bytes = info.shared_bytes;
+    }
+  }
   cfg.protocol.kind = o.protocol;
   cfg.protocol.home_policy = o.home;
   cfg.protocol.diff_policy = o.diff_policy;
@@ -251,7 +302,20 @@ int Main(int argc, char** argv) {
     cfg.reliability.max_retries = o.retry_max;
   }
 
-  auto app = o.seed_set ? MakeApp(o.app, o.scale, app_seed) : MakeApp(o.app, o.scale);
+  std::unique_ptr<App> app;
+  if (replay_app != nullptr) {
+    app = std::move(replay_app);
+  } else {
+    app = o.seed_set ? TryMakeApp(o.app, o.scale, app_seed) : TryMakeApp(o.app, o.scale);
+    if (app == nullptr) {
+      std::fprintf(stderr, "unknown app '%s'; registered apps:", o.app.c_str());
+      for (const std::string& name : RegisteredAppNames()) {
+        std::fprintf(stderr, " %s", name.c_str());
+      }
+      std::fprintf(stderr, "\n");
+      return 2;
+    }
+  }
   System sys(cfg);
   TraceLog* trace = o.trace_path.empty() ? nullptr : sys.EnableTracing();
   // Metrics ride along whenever a run summary is requested, and also when a
@@ -259,11 +323,28 @@ int Main(int argc, char** argv) {
   Metrics* metrics = (o.metrics_path.empty() && o.trace_path.empty())
                          ? nullptr
                          : sys.EnableMetrics(o.sample_interval);
+  // Workload recording attaches before Setup so the allocation table is
+  // captured. Pure observation: the recorded run's timing is unchanged.
+  std::unique_ptr<wkld::TraceWriter> trace_writer;
+  std::unique_ptr<wkld::TraceRecorder> recorder;
+  if (!o.record_trace_path.empty()) {
+    const std::string meta = std::string("protocol=") + ProtocolName(o.protocol) +
+                             " seed=" + std::to_string(cfg.seed);
+    trace_writer = std::make_unique<wkld::TraceWriter>(
+        o.record_trace_path, wkld::MakeTraceInfo(cfg, app->name(), meta));
+    recorder = std::make_unique<wkld::TraceRecorder>(&sys, trace_writer.get());
+    sys.SetWorkloadObserver(recorder.get());
+  }
   app->Setup(sys);
   const auto wall_start = std::chrono::steady_clock::now();
   sys.Run(app->Program());
   const double wall_seconds =
       std::chrono::duration<double>(std::chrono::steady_clock::now() - wall_start).count();
+
+  if (trace_writer != nullptr) {
+    trace_writer->Finish();
+    std::printf("workload trace written to %s\n", o.record_trace_path.c_str());
+  }
 
   std::string why;
   const bool verified = !o.verify || app->Verify(sys, &why);
