@@ -1,0 +1,36 @@
+#include "src/common/cli.h"
+
+#include <cstdlib>
+
+namespace hlrc {
+
+const char* ToolVersion() { return "hlrc-svm 0.7.0"; }
+
+void PrintUsage(const ToolInfo& tool, std::FILE* out) {
+  std::fprintf(out, "usage: %s %s\n\n%s\n\nflags:\n%s", tool.name,
+               tool.invocation != nullptr ? tool.invocation : "[flags]", tool.summary,
+               tool.usage);
+  std::fprintf(out,
+               "  --help                show this message and exit\n"
+               "  --version             print the toolbox version and exit\n");
+}
+
+bool HandleCommonFlag(const ToolInfo& tool, const std::string& arg) {
+  if (arg == "--help" || arg == "-h") {
+    PrintUsage(tool, stdout);
+    std::exit(0);
+  }
+  if (arg == "--version") {
+    std::printf("%s %s\n", tool.name, ToolVersion());
+    std::exit(0);
+  }
+  return false;
+}
+
+void UsageError(const ToolInfo& tool, const std::string& message) {
+  std::fprintf(stderr, "%s: %s\n", tool.name, message.c_str());
+  PrintUsage(tool, stderr);
+  std::exit(2);
+}
+
+}  // namespace hlrc

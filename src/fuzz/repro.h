@@ -1,0 +1,48 @@
+// Self-contained reproducer files (docs/FUZZING.md).
+//
+// A repro file carries everything needed to replay one fuzzer finding with
+// no corpus, trace file or seed sweep: the harness configuration, the
+// workload genome (allocations + per-node record streams) and the schedule
+// genome (seed + pinned decision prefix), plus the violation the original
+// run produced. `svmfuzz --repro=FILE` replays it and verifies the same
+// violation reappears; corpus entries use the same format with an empty
+// violation line.
+//
+// The format is a line-oriented text file ("hlrc-svmfuzz-repro v1"),
+// versioned like the other on-disk formats in this repo; parsing rejects
+// unknown versions and malformed records with a diagnostic rather than
+// guessing.
+#ifndef SRC_FUZZ_REPRO_H_
+#define SRC_FUZZ_REPRO_H_
+
+#include <string>
+
+#include "src/fuzz/genome.h"
+#include "src/fuzz/harness.h"
+
+namespace hlrc {
+namespace fuzz {
+
+struct ReproFile {
+  FuzzInput input;
+  HarnessConfig config;
+  // Protocols the differential harness compared (empty: primary run only).
+  std::vector<ProtocolKind> cross;
+  std::string violation;  // First violation description; empty for corpus entries.
+};
+
+std::string SerializeRepro(const ReproFile& repro);
+bool ParseRepro(const std::string& text, ReproFile* out, std::string* error);
+
+bool WriteReproFile(const std::string& path, const ReproFile& repro, std::string* error);
+bool LoadReproFile(const std::string& path, ReproFile* out, std::string* error);
+
+// Replays a repro exactly as the fuzzer judged it: one run under the primary
+// protocol, then (if `cross` is non-empty) the differential comparison.
+// Returns the first violation/divergence description, or "" if clean.
+std::string ReplayRepro(const ReproFile& repro);
+
+}  // namespace fuzz
+}  // namespace hlrc
+
+#endif  // SRC_FUZZ_REPRO_H_

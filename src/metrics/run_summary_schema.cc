@@ -219,6 +219,24 @@ bool ValidateRunSummary(const JsonValue& root, std::string* err) {
     return Fail(err, "missing or non-boolean field: verified");
   }
 
+  // Optional protocol-state coverage block (svmsim --coverage, svmfuzz).
+  const JsonValue* coverage = root.Find("coverage");
+  if (coverage != nullptr) {
+    if (!coverage->IsObject() || !RequireInt(*coverage, "points", 0, err) ||
+        !RequireInt(*coverage, "hits", 0, err)) {
+      return Fail(err, "coverage: malformed object");
+    }
+    const JsonValue* domains;
+    if (!RequireObject(*coverage, "domains", &domains, err)) {
+      return false;
+    }
+    for (const auto& [name, pts] : domains->obj) {
+      if (!pts.IsNumber() || !pts.is_int || pts.num_i < 0) {
+        return Fail(err, "coverage.domains." + name + ": not a non-negative integer");
+      }
+    }
+  }
+
   const JsonValue* totals;
   if (!RequireObject(root, "totals", &totals, err)) {
     return false;

@@ -56,7 +56,8 @@ Network::Network(Engine* engine, int nodes, NetworkConfig config)
       handlers_(nodes),
       out_free_(nodes, 0),
       in_free_(nodes, 0),
-      stats_(nodes) {
+      stats_(nodes),
+      last_delivered_type_(nodes, static_cast<uint32_t>(MsgType::kCount)) {
   if (config_.model_link_contention) {
     link_free_.assign(static_cast<size_t>(mesh_.MaxLinkId()), 0);
   }
@@ -184,6 +185,10 @@ void Network::Transmit(const std::shared_ptr<WireFrame>& frame, bool retransmit)
 
   if (fault.drop) {
     // Lost in the fabric: never reaches the receiving NIC.
+    if (coverage_ != nullptr) {
+      coverage_->Cover(CoverageObserver::Domain::kFault,
+                       static_cast<uint64_t>(frame->type), 0);
+    }
     ++s.msgs_dropped_in_net;
     TraceNet(frame->src, TraceEvent::kNetDrop, static_cast<int64_t>(frame->type), frame->dst);
     return;
@@ -197,6 +202,10 @@ void Network::Transmit(const std::shared_ptr<WireFrame>& frame, bool retransmit)
   if (fault.corrupt) {
     // The bytes occupied the receiving NIC but fail their checksum there and
     // are discarded: equivalent to a loss, just later and more expensive.
+    if (coverage_ != nullptr) {
+      coverage_->Cover(CoverageObserver::Domain::kFault,
+                       static_cast<uint64_t>(frame->type), 1);
+    }
     ++s.msgs_dropped_in_net;
     TraceNet(frame->src, TraceEvent::kNetDrop, static_cast<int64_t>(frame->type), frame->dst);
     return;
@@ -212,7 +221,15 @@ void Network::Transmit(const std::shared_ptr<WireFrame>& frame, bool retransmit)
   }
   engine_->ScheduleAt(delivered, [this, frame] { OnFrameArrival(frame); });
 
+  if (coverage_ != nullptr && fault.extra_delay > 0) {
+    coverage_->Cover(CoverageObserver::Domain::kFault,
+                     static_cast<uint64_t>(frame->type), 2);
+  }
   if (fault.duplicate && channel_ != nullptr) {
+    if (coverage_ != nullptr) {
+      coverage_->Cover(CoverageObserver::Domain::kFault,
+                       static_cast<uint64_t>(frame->type), 3);
+    }
     // A spurious second copy drains the receiving NIC right after the first.
     // Only meaningful with reliable delivery: the channel dedups it; without
     // a dedup layer a duplicate would hand the protocol the same (consumed)
@@ -242,6 +259,15 @@ void Network::OnFrameArrival(const std::shared_ptr<WireFrame>& frame) {
 }
 
 void Network::DeliverToHandler(Message msg) {
+  if (coverage_ != nullptr) {
+    // Delivery edges: which message type followed which at this destination.
+    // Node ids stay out of the point itself so the edge space measures
+    // protocol behavior rather than topology.
+    coverage_->Cover(CoverageObserver::Domain::kMsgEdge,
+                     last_delivered_type_[msg.dst],
+                     static_cast<uint64_t>(msg.type));
+    last_delivered_type_[msg.dst] = static_cast<uint32_t>(msg.type);
+  }
   Handler& handler = handlers_[msg.dst];
   handler(std::move(msg));
 }

@@ -23,6 +23,7 @@
 #include <memory>
 #include <vector>
 
+#include "src/common/coverage.h"
 #include "src/common/types.h"
 #include "src/metrics/histogram.h"
 #include "src/net/fault_hook.h"
@@ -99,6 +100,12 @@ class Network {
   using DeliveryJitterHook = std::function<SimTime(NodeId src, NodeId dst, MsgType type)>;
   void SetDeliveryJitterHook(DeliveryJitterHook hook) { jitter_hook_ = std::move(hook); }
 
+  // Installs a coverage observer (src/common/coverage.h). The network emits
+  // kMsgEdge points — consecutive (prev MsgType, MsgType) pairs of accepted
+  // deliveries at each destination — and kFault points for injected fault
+  // decisions. Pure observation; pass nullptr to remove.
+  void SetCoverageObserver(CoverageObserver* cov) { coverage_ = cov; }
+
   // Enables the reliable-delivery layer. Must be called before any Send.
   void EnableReliableDelivery(const ReliabilityConfig& config);
 
@@ -156,6 +163,8 @@ class Network {
   std::vector<TrafficStats> stats_;
   FaultHook* fault_hook_ = nullptr;
   DeliveryJitterHook jitter_hook_;
+  CoverageObserver* coverage_ = nullptr;
+  std::vector<uint32_t> last_delivered_type_;  // Per dst, for kMsgEdge edges.
   TraceLog* trace_ = nullptr;
   std::vector<NodeInstruments> instruments_;
   std::unique_ptr<ReliableChannel> channel_;

@@ -11,9 +11,14 @@ int64_t AurcProtocol::ProtocolMemoryBytes() const {
 void AurcProtocol::OnIntervalClosed(IntervalRecord* rec, CloseActions* actions) {
   std::vector<PageId> kept;
   for (PageId p : rec->pages) {
+    // Flushes route via the static home (which forwards after a migration);
+    // the home-effect test must use the believed home, or a node that just
+    // became the home via migration would look for a twin it never made.
     const NodeId home = HomeOf(p);
-    if (home == self()) {
+    if (IsHomeHere(p)) {
+      HLRC_CHECK(!pages().HasTwin(p));
       SetApplied(p, self(), rec->id);
+      writer_streak_.erase(p);  // The home is writing: no migration streak.
       kept.push_back(p);
       continue;
     }

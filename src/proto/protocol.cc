@@ -218,12 +218,18 @@ ProtocolNode::CloseActions ProtocolNode::CloseIntervalPrepared() {
     if (st.prot == PageProt::kReadWrite) {
       st.prot = PageProt::kRead;
       actions.protect_cost += costs().page_protect;
+      Cover(CoverageObserver::Domain::kPageTransition,
+            (static_cast<uint64_t>(PageProt::kReadWrite) << 8) |
+                static_cast<uint64_t>(PageProt::kRead),
+            2);  // Cause 2: interval-close reprotection.
     }
   }
 
   OnIntervalClosed(&rec, &actions);
 
   if (!rec.pages.empty()) {
+    Cover(CoverageObserver::Domain::kInterval,
+          CoverageBucket(rec.pages.size()), 0);
     Trace(TraceEvent::kIntervalClose, rec.id, static_cast<int64_t>(rec.pages.size()));
     HLRC_TRACE("[%lld] node %d: close interval id=%u with %zu pages (first=%d)",
                (long long)engine()->Now(), env_.self, rec.id, rec.pages.size(), rec.pages[0]);
@@ -267,9 +273,15 @@ SimTime ProtocolNode::ApplyIntervals(const std::vector<IntervalRecord>& recs) {
     stats_.write_notices_received += static_cast<int64_t>(rec.pages.size());
     cost += costs().wn_apply * static_cast<SimTime>(rec.pages.size());
     for (PageId p : rec.pages) {
-      if (OnWriteNotice(rec, p)) {
+      const PageProt before = env_.pages->State(p).prot;
+      const bool did_invalidate = OnWriteNotice(rec, p);
+      if (did_invalidate) {
         ++invalidated;
       }
+      Cover(CoverageObserver::Domain::kPageTransition,
+            (static_cast<uint64_t>(before) << 8) |
+                static_cast<uint64_t>(env_.pages->State(p).prot),
+            did_invalidate ? 1 : 0);  // Cause 1: invalidated, 0: kept.
     }
     known_interval_bytes_ += IntervalBytes(rec);
     known_intervals_.emplace(IntervalKey{rec.writer, rec.id}, rec);
@@ -339,10 +351,15 @@ Task<void> ProtocolNode::EnsureAccessSpans(std::vector<PageSpan> spans) {
       metrics_->heat->OnFault(fault_page, fault_write);
       ++*metrics_->outstanding_fetches;
     }
+    const PageProt prot_before = env_.pages->State(fault_page).prot;
     co_await ResolveFault(fault_page, fault_write);
     if (metrics_ != nullptr) {
       --*metrics_->outstanding_fetches;
     }
+    Cover(CoverageObserver::Domain::kPageTransition,
+          (static_cast<uint64_t>(prot_before) << 8) |
+              static_cast<uint64_t>(env_.pages->State(fault_page).prot),
+          fault_write ? 4 : 3);  // Cause 3: read fault, 4: write fault.
     HLRC_DCHECK(env_.pages->State(fault_page).prot != PageProt::kNone);
     ws.Finish();
   }
@@ -511,6 +528,8 @@ void ProtocolNode::GrantLock(LockId lock, NodeId requester, const VectorClock& r
 void ProtocolNode::HandleLockGrant(LockId lock, std::vector<IntervalRecord> intervals) {
   HLRC_TRACE("[%lld] node %d: received grant for lock %d", (long long)engine()->Now(),
              env_.self, lock);
+  Cover(CoverageObserver::Domain::kSyncEpoch, 0,
+        CoverageBucket(intervals.size()));  // Sync kind 0: lock grant.
   const SimTime cost = ApplyIntervals(intervals);
   env_.cpu->RunService(cost, BusyCat::kWriteNotice, [this, lock] {
     LockState& ls = Lock(lock);
@@ -629,6 +648,8 @@ void ProtocolNode::SendBarrierReleases(BarrierId barrier) {
 
 void ProtocolNode::HandleBarrierRelease(std::vector<IntervalRecord> intervals,
                                         const VectorClock& max_vt) {
+  Cover(CoverageObserver::Domain::kSyncEpoch, 1,
+        CoverageBucket(intervals.size()));  // Sync kind 1: barrier release.
   const SimTime cost = ApplyIntervals(intervals);
   vt_.MergeWith(max_vt);
   env_.cpu->RunService(cost, BusyCat::kWriteNotice, [this] {

@@ -137,6 +137,13 @@ class ProtocolNode {
   // (the default) keeps every recording site a single-branch no-op.
   void SetMetrics(ProtoMetrics* metrics) { metrics_ = metrics; }
 
+  // Attaches a coverage observer (System::SetCoverageObserver). The protocol
+  // emits kPageTransition points for every page-protection change,
+  // kSyncEpoch points for write-notice batches at grants/releases, and
+  // kInterval points at interval close. Pure observation; null (the
+  // default) keeps every emitting site a single-branch no-op.
+  void SetCoverageObserver(CoverageObserver* cov) { coverage_ = cov; }
+
  protected:
   // ---- Subclass interface --------------------------------------------------
 
@@ -291,8 +298,16 @@ class ProtocolNode {
     void Finish();
   };
 
+  // Coverage emission helper (no-op when no observer is installed).
+  void Cover(CoverageObserver::Domain domain, uint64_t a, uint64_t b) const {
+    if (coverage_ != nullptr) {
+      coverage_->Cover(domain, a, b);
+    }
+  }
+
   ProtoStats stats_;
   ProtoMetrics* metrics_ = nullptr;
+  CoverageObserver* coverage_ = nullptr;
   VectorClock vt_;
 
   // All interval records known to this node, pruned at barriers once every

@@ -231,6 +231,20 @@ std::string RunSummaryJson(const System& sys, const RunSummaryMeta& meta) {
   w.KV("version", kRunSummarySchemaVersion);
   WriteConfig(w, sys, meta);
   w.KV("verified", meta.verified);
+  if (meta.coverage.enabled) {
+    w.Key("coverage");
+    w.BeginObject();
+    w.KV("points", meta.coverage.points);
+    w.KV("hits", meta.coverage.hits);
+    w.Key("domains");
+    w.BeginObject();
+    for (int d = 0; d < CoverageObserver::kDomains; ++d) {
+      w.KV(CoverageDomainName(static_cast<CoverageObserver::Domain>(d)),
+           meta.coverage.domain_points[static_cast<size_t>(d)]);
+    }
+    w.EndObject();
+    w.EndObject();
+  }
 
   const NodeReport totals = report.Totals();
   w.Key("totals");

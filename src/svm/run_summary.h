@@ -11,7 +11,11 @@
 #ifndef SRC_SVM_RUN_SUMMARY_H_
 #define SRC_SVM_RUN_SUMMARY_H_
 
+#include <array>
+#include <cstdint>
 #include <string>
+
+#include "src/common/coverage.h"
 
 namespace hlrc {
 
@@ -22,6 +26,15 @@ struct RunSummaryMeta {
   std::string app;    // Application name ("sor", "lu", ...; "custom" if none).
   std::string scale;  // Problem scale ("tiny", "default", "paper", ...).
   bool verified = false;
+  // Protocol-state coverage of the run (svmsim --coverage / svmfuzz; see
+  // docs/FUZZING.md). Plain data so src/svm does not depend on the concrete
+  // map in src/fuzz; emitted as an optional "coverage" object when enabled.
+  struct Coverage {
+    bool enabled = false;
+    int64_t points = 0;  // Distinct coverage points.
+    int64_t hits = 0;    // Total emissions.
+    std::array<int64_t, CoverageObserver::kDomains> domain_points = {};
+  } coverage;
 };
 
 // Renders the summary for a completed run. Requires System::EnableMetrics to

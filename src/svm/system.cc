@@ -234,6 +234,14 @@ void System::SetWorkloadObserver(WorkloadObserver* observer) {
   }
 }
 
+void System::SetCoverageObserver(CoverageObserver* cov) {
+  HLRC_CHECK_MSG(!ran_, "SetCoverageObserver must precede Run");
+  for (Node& node : nodes_) {
+    node.proto->SetCoverageObserver(cov);
+  }
+  network_->SetCoverageObserver(cov);
+}
+
 Metrics* System::EnableMetrics(SimTime sample_interval) {
   HLRC_CHECK_MSG(!ran_, "EnableMetrics must precede Run");
   HLRC_CHECK_MSG(metrics_ == nullptr, "EnableMetrics may only be called once");

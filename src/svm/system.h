@@ -183,6 +183,13 @@ class System {
   void SetWorkloadObserver(WorkloadObserver* observer);
   WorkloadObserver* workload_observer() const { return wobserver_; }
 
+  // Installs a coverage observer on every protocol node and the network
+  // (src/common/coverage.h): protocol-state coverage points for the fuzzer's
+  // feedback signal and the run-summary coverage export. Must be called
+  // before Run. Pure observation; pass nullptr to remove. The observer must
+  // outlive Run.
+  void SetCoverageObserver(CoverageObserver* cov);
+
   // Runs `program` on every node to completion. Aborts with a diagnostic if
   // the programs deadlock (event queue drained with unfinished programs).
   void Run(const Program& program);

@@ -7,6 +7,7 @@
 #include <cstring>
 
 #include "src/apps/app.h"
+#include "src/check/oracle.h"
 #include "src/common/rng.h"
 #include "src/svm/system.h"
 #include "tests/test_util.h"
@@ -238,6 +239,89 @@ TEST(HomeMigration, MixedWritersOnOnePageStayExact) {
     }
   });
   EXPECT_GE(Transfers(sys), 0);  // Data exactness above is the real check.
+}
+
+// Migration composed with a lossy, delaying fabric, validated by the LRC
+// oracle on every observed word access: a home transfer racing a retransmit
+// (stale forwarded reply, double-install) would surface as a masked read.
+// StoreWord gives every write a location-unique value so the oracle
+// identifies the originating write exactly.
+void RunMigratingWriterUnderFaults(ProtocolKind proto, uint64_t seed) {
+  SimConfig cfg = MigrConfig(4, true);
+  cfg.protocol.kind = proto;
+  cfg.fault.drop_prob = 0.03;
+  cfg.fault.delay_prob = 0.10;
+  cfg.fault.seed = seed * 7919 + 1;
+  cfg.reliability.enabled = true;
+  System sys(cfg);
+  LrcOracle oracle(cfg.nodes);
+  sys.SetAccessObserver(&oracle);
+  const int slots = 16;
+  const GlobalAddr addr = sys.space().AllocPageAligned(slots * 8);
+  const int rounds = 8;
+  sys.Run([&](NodeContext& ctx) -> Task<void> {
+    for (int r = 0; r < rounds; ++r) {
+      if (ctx.id() == 1) {  // Stable writer, never the static home (node 0).
+        for (int i = 0; i < slots; ++i) {
+          co_await ctx.StoreWord(addr + i * 8,
+                                 static_cast<uint64_t>(r * 1000 + i + 1));
+        }
+      }
+      co_await ctx.Barrier(0);
+      for (int i = 0; i < slots; i += 5) {
+        const uint64_t v = co_await ctx.LoadWord(addr + i * 8);
+        EXPECT_EQ(v, static_cast<uint64_t>(r * 1000 + i + 1))
+            << ProtocolName(proto) << " node " << ctx.id() << " round " << r;
+      }
+      co_await ctx.Barrier(1);
+    }
+  });
+  EXPECT_TRUE(oracle.ok()) << ProtocolName(proto) << " seed " << seed << ": "
+                           << (oracle.ok() ? ""
+                                           : oracle.violations().front().description);
+  EXPECT_GT(oracle.reads_checked(), 0);
+  EXPECT_GE(Transfers(sys), 1) << ProtocolName(proto) << " seed " << seed;
+}
+
+TEST(HomeMigration, FaultInjectedMigrationIsOracleCleanHlrc) {
+  for (uint64_t seed = 1; seed <= 3; ++seed) {
+    RunMigratingWriterUnderFaults(ProtocolKind::kHlrc, seed);
+  }
+}
+
+TEST(HomeMigration, FaultInjectedMigrationIsOracleCleanAurc) {
+  for (uint64_t seed = 1; seed <= 3; ++seed) {
+    RunMigratingWriterUnderFaults(ProtocolKind::kAurc, seed);
+  }
+}
+
+TEST(HomeMigration, MetricsObservationIsBitIdentical) {
+  // Golden pin: metrics are pure observation, so a migrating run with the
+  // sampler attached must produce the exact report of the same run without
+  // it — total time, per-node finish times, traffic and transfer counts.
+  RunReport reports[2];
+  for (int m = 0; m < 2; ++m) {
+    SimConfig cfg = MigrConfig(4, true);
+    System sys(cfg);
+    if (m == 1) {
+      sys.EnableMetrics(Micros(500));
+    }
+    const GlobalAddr addr = sys.space().AllocPageAligned(2048);
+    RunSteadyWriter(sys, addr, 10);
+    reports[m] = sys.report();
+  }
+  EXPECT_EQ(reports[0].total_time, reports[1].total_time);
+  ASSERT_EQ(reports[0].nodes.size(), reports[1].nodes.size());
+  for (size_t n = 0; n < reports[0].nodes.size(); ++n) {
+    const NodeReport& a = reports[0].nodes[n];
+    const NodeReport& b = reports[1].nodes[n];
+    EXPECT_EQ(a.finish_time, b.finish_time) << "node " << n;
+    EXPECT_EQ(a.traffic.msgs_sent, b.traffic.msgs_sent) << "node " << n;
+    EXPECT_EQ(a.proto.diffs_created, b.proto.diffs_created) << "node " << n;
+    EXPECT_EQ(a.traffic.msgs_by_type[static_cast<int>(MsgType::kHomeTransfer)],
+              b.traffic.msgs_by_type[static_cast<int>(MsgType::kHomeTransfer)])
+        << "node " << n;
+  }
 }
 
 }  // namespace

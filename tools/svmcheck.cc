@@ -46,6 +46,7 @@
 
 #include "src/apps/litmus.h"
 #include "src/check/explorer.h"
+#include "src/common/cli.h"
 #include "src/sim/sweep.h"
 
 namespace hlrc {
@@ -67,19 +68,35 @@ struct Options {
   bool stop_on_failure = false;
   bool replay = false;
   uint64_t replay_seed = 0;
+  bool limit_set = false;
   uint64_t limit = std::numeric_limits<uint64_t>::max();
 };
 
-[[noreturn]] void Usage() {
-  std::fprintf(stderr,
-               "usage: svmcheck [--litmus=LIST] [--protocols=LIST] [--seeds=N] [--seed=N]\n"
-               "                [--jobs=N]\n"
-               "                [--nodes=N] [--rounds=N] [--page-size=B] [--max-jitter-us=N]\n"
-               "                [--no-permute] [--mutation=NAME] [--fault-drop=P]\n"
-               "                [--stop-on-failure] [--replay-seed=N [--limit=N]]\n"
-               "       svmcheck --list\n");
-  std::exit(2);
-}
+const ToolInfo kTool = {
+    "svmcheck",
+    "Sweeps seeded schedule perturbations of the litmus programs under the\n"
+    "selected protocols, validating every shared read against the LRC\n"
+    "oracle; failing schedules are minimized to a replayable\n"
+    "(seed, decision-limit) pair.",
+    "  --litmus=LIST         comma-separated litmus names, or \"all\" (default)\n"
+    "  --protocols=LIST      lrc | olrc | hlrc | ohlrc | erc | aurc, or \"all\"\n"
+    "                        (default: lrc,erc,hlrc,aurc)\n"
+    "  --seeds=N             seeds per (litmus, protocol) pair (default 100)\n"
+    "  --seed=N              first seed of the sweep (default 1)\n"
+    "  --jobs=N              worker threads per sweep (default: hardware\n"
+    "                        concurrency; report is --jobs independent)\n"
+    "  --nodes=N             node count (default 4)\n"
+    "  --rounds=N            litmus rounds (default 3)\n"
+    "  --page-size=BYTES     SVM page size (default 512)\n"
+    "  --max-jitter-us=N     max per-message delivery jitter (default 150)\n"
+    "  --no-permute          disable the same-time event permutation\n"
+    "  --mutation=NAME       none | hlrc-skip-diff-apply | lrc-skip-invalidate\n"
+    "  --fault-drop=P        compose with fault injection: drop probability\n"
+    "  --stop-on-failure     stop a sweep at its first failing seed\n"
+    "  --replay-seed=N       run exactly one seed (requires --limit)\n"
+    "  --limit=N             decision limit for --replay-seed\n"
+    "  --list                print litmus, protocol and mutation names\n",
+};
 
 const char* ProtocolFlag(ProtocolKind k) {
   switch (k) {
@@ -100,16 +117,14 @@ ProtocolKind ParseProtocol(const std::string& s) {
   if (s == "ohlrc") return ProtocolKind::kOhlrc;
   if (s == "erc") return ProtocolKind::kErc;
   if (s == "aurc") return ProtocolKind::kAurc;
-  std::fprintf(stderr, "unknown protocol '%s'\n", s.c_str());
-  Usage();
+  UsageError(kTool, "unknown protocol '" + s + "'");
 }
 
 TestMutation ParseMutation(const std::string& s) {
   if (s == "none") return TestMutation::kNone;
   if (s == "hlrc-skip-diff-apply") return TestMutation::kHlrcSkipDiffApply;
   if (s == "lrc-skip-invalidate") return TestMutation::kLrcSkipInvalidate;
-  std::fprintf(stderr, "unknown mutation '%s'\n", s.c_str());
-  Usage();
+  UsageError(kTool, "unknown mutation '" + s + "'");
 }
 
 std::vector<std::string> SplitList(const std::string& s) {
@@ -175,10 +190,19 @@ Options Parse(int argc, char** argv) {
       o.replay_seed = std::strtoull(val("--replay-seed=").c_str(), nullptr, 10);
     } else if (arg.rfind("--limit=", 0) == 0) {
       o.limit = std::strtoull(val("--limit=").c_str(), nullptr, 10);
-    } else {
-      std::fprintf(stderr, "unknown flag: %s\n", arg.c_str());
-      Usage();
+      o.limit_set = true;
+    } else if (!HandleCommonFlag(kTool, arg)) {
+      UsageError(kTool, "unknown flag: " + arg);
     }
+  }
+  // --replay-seed and --limit only make sense as a pair: a replay without a
+  // decision limit is not the minimized schedule svmcheck printed, and a
+  // limit without a replay seed would silently run a full sweep.
+  if (o.replay && !o.limit_set) {
+    UsageError(kTool, "--replay-seed requires --limit");
+  }
+  if (o.limit_set && !o.replay) {
+    UsageError(kTool, "--limit requires --replay-seed");
   }
   if (o.litmus.empty()) {
     o.litmus = LitmusNames();

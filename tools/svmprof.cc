@@ -17,6 +17,7 @@
 #include <string>
 #include <vector>
 
+#include "src/common/cli.h"
 #include "src/common/table.h"
 #include "src/metrics/json.h"
 #include "src/metrics/run_summary_schema.h"
@@ -24,13 +25,16 @@
 namespace hlrc {
 namespace {
 
-[[noreturn]] void Usage() {
-  std::fprintf(stderr,
-               "usage: svmprof RUN.json [--top=N]\n"
-               "       svmprof --check RUN.json\n"
-               "       svmprof --diff A.json B.json\n");
-  std::exit(2);
-}
+const ToolInfo kTool = {
+    "svmprof",
+    "Renders svmsim \"hlrc-run-summary\" JSON files for humans: run\n"
+    "configuration, per-phase time breakdown, latency percentiles, hot\n"
+    "pages and traffic totals. Files are schema-validated on load.",
+    "  --top=N               widen the hot-page table (default 20)\n"
+    "  --check               validate only (exit 0/1), no report\n"
+    "  --diff                compare two runs with percent deltas\n",
+    "RUN.json [flags] | --check RUN.json | --diff A.json B.json",
+};
 
 bool ReadFile(const std::string& path, std::string* out, std::string* err) {
   std::FILE* f = std::fopen(path.c_str(), "rb");
@@ -326,23 +330,24 @@ int Main(int argc, char** argv) {
     } else if (arg.rfind("--top=", 0) == 0) {
       top = std::atoll(arg.substr(std::strlen("--top=")).c_str());
       if (top <= 0) {
-        Usage();
+        UsageError(kTool, "--top must be positive");
       }
     } else if (!arg.empty() && arg[0] == '-') {
-      std::fprintf(stderr, "unknown flag: %s\n", arg.c_str());
-      Usage();
+      if (!HandleCommonFlag(kTool, arg)) {
+        UsageError(kTool, "unknown flag: " + arg);
+      }
     } else {
       positional.push_back(arg);
     }
   }
   if (diff) {
     if (check_only || positional.size() != 2) {
-      Usage();
+      UsageError(kTool, "--diff takes exactly two run files");
     }
     return Diff(positional[0], positional[1]);
   }
   if (positional.size() != 1) {
-    Usage();
+    UsageError(kTool, "exactly one run file required");
   }
   if (check_only) {
     LoadSummary(positional[0]);  // Exits nonzero on parse/schema failure.

@@ -62,8 +62,10 @@
 #endif
 
 #include "src/apps/app.h"
+#include "src/common/cli.h"
 #include "src/common/rng.h"
 #include "src/common/table.h"
+#include "src/fuzz/coverage.h"
 #include "src/fault/fault_plan.h"
 #include "src/metrics/sampler.h"
 #include "src/svm/run_summary.h"
@@ -103,22 +105,42 @@ struct Options {
   bool reliable = false;
   SimTime retry_timeout = Micros(10000);
   int retry_max = 12;
+  bool coverage = false;
 };
 
-[[noreturn]] void Usage() {
-  std::fprintf(stderr,
-               "usage: svmsim --app=NAME --protocol=NAME [--nodes=N] [--scale=S]\n"
-               "              [--page-size=B] [--home=P] [--diff-policy=P]\n"
-               "              [--gc-threshold=B] [--migrate-homes] [--trace=FILE]\n"
-               "              [--metrics-out=FILE] [--sample-interval=US]\n"
-               "              [--per-node] [--no-verify] [--verbose]\n"
-               "              [--seed=N] [--fault-drop=P] [--fault-dup=P] [--fault-delay=P]\n"
-               "              [--fault-corrupt=P] [--fault-seed=N] [--partition=a-b@t0..t1]\n"
-               "              [--reliable] [--retry-timeout=US] [--retry-max=N]\n"
-               "              [--record-trace=FILE] [--replay-trace=FILE]\n"
-               "       svmsim --list\n");
-  std::exit(2);
-}
+const ToolInfo kTool = {
+    "svmsim",
+    "Runs one benchmark application under one SVM protocol and prints the\n"
+    "paper-style report (time breakdown, operation counts, traffic).",
+    "  --app=NAME            lu | sor | water-nsq | water-sp | raytrace\n"
+    "  --protocol=NAME       lrc | olrc | hlrc | ohlrc | erc | aurc\n"
+    "  --nodes=N             node count (default 8)\n"
+    "  --scale=S             tiny | default | paper\n"
+    "  --page-size=BYTES     SVM page size (default 4096)\n"
+    "  --home=POLICY         block | round-robin | single-node\n"
+    "  --diff-policy=P       eager | lazy (homeless protocols)\n"
+    "  --gc-threshold=BYTES  homeless GC trigger (default 4 MiB)\n"
+    "  --migrate-homes       enable dynamic home migration (home-based)\n"
+    "  --trace=FILE.json     dump a chrome://tracing file\n"
+    "  --per-node            print the per-node breakdown table\n"
+    "  --no-verify           skip result verification\n"
+    "  --verbose             print a host wall-clock summary\n"
+    "  --seed=N              root seed (app inputs + fault injector)\n"
+    "  --record-trace=FILE   record the workload into a trace file\n"
+    "  --replay-trace=FILE   replay a recorded trace instead of an app\n"
+    "  --metrics-out=FILE    write a versioned JSON run summary\n"
+    "  --sample-interval=US  metrics sampler period (default 1000)\n"
+    "  --coverage            collect protocol-state coverage; printed after\n"
+    "                        the report and exported in --metrics-out\n"
+    "  --fault-drop=P --fault-dup=P --fault-delay=P --fault-corrupt=P\n"
+    "                        per-message fault probabilities\n"
+    "  --fault-seed=N        injector seed (default: derived from --seed)\n"
+    "  --partition=a-b@t0..t1  partition node lists a and b during [t0,t1) ms\n"
+    "  --reliable            enable ack/retransmit delivery (implied by faults)\n"
+    "  --retry-timeout=US    retransmit timeout (default 10000)\n"
+    "  --retry-max=N         retransmissions per message before aborting\n"
+    "  --list                print application and protocol names\n",
+};
 
 ProtocolKind ParseProtocol(const std::string& s) {
   if (s == "lrc") return ProtocolKind::kLrc;
@@ -127,8 +149,7 @@ ProtocolKind ParseProtocol(const std::string& s) {
   if (s == "ohlrc") return ProtocolKind::kOhlrc;
   if (s == "erc") return ProtocolKind::kErc;
   if (s == "aurc") return ProtocolKind::kAurc;
-  std::fprintf(stderr, "unknown protocol '%s'\n", s.c_str());
-  Usage();
+  UsageError(kTool, "unknown protocol '" + s + "'");
 }
 
 // Peak resident set size of this process, in bytes (0 when unavailable).
@@ -195,9 +216,10 @@ Options Parse(int argc, char** argv) {
     } else if (arg.rfind("--sample-interval=", 0) == 0) {
       o.sample_interval = Micros(std::atoll(val("--sample-interval=").c_str()));
       if (o.sample_interval <= 0) {
-        std::fprintf(stderr, "--sample-interval must be positive\n");
-        Usage();
+        UsageError(kTool, "--sample-interval must be positive");
       }
+    } else if (arg == "--coverage") {
+      o.coverage = true;
     } else if (arg.rfind("--seed=", 0) == 0) {
       o.seed = static_cast<uint64_t>(std::strtoull(val("--seed=").c_str(), nullptr, 10));
       o.seed_set = true;
@@ -217,8 +239,7 @@ Options Parse(int argc, char** argv) {
       PartitionWindow w;
       std::string err;
       if (!ParsePartitionSpec(val("--partition="), &w, &err)) {
-        std::fprintf(stderr, "bad --partition spec: %s\n", err.c_str());
-        Usage();
+        UsageError(kTool, "bad --partition spec: " + err);
       }
       o.fault.partitions.push_back(std::move(w));
     } else if (arg == "--reliable") {
@@ -237,9 +258,8 @@ Options Parse(int argc, char** argv) {
       o.verbose = true;
     } else if (arg == "--no-verify") {
       o.verify = false;
-    } else {
-      std::fprintf(stderr, "unknown flag: %s\n", arg.c_str());
-      Usage();
+    } else if (!HandleCommonFlag(kTool, arg)) {
+      UsageError(kTool, "unknown flag: " + arg);
     }
   }
   return o;
@@ -325,6 +345,14 @@ int Main(int argc, char** argv) {
                          : sys.EnableMetrics(o.sample_interval);
   // Workload recording attaches before Setup so the allocation table is
   // captured. Pure observation: the recorded run's timing is unchanged.
+  // Coverage observation, like metrics, attaches before the run and never
+  // charges simulated time.
+  std::unique_ptr<fuzz::CoverageMap> coverage;
+  if (o.coverage) {
+    coverage = std::make_unique<fuzz::CoverageMap>(
+        static_cast<uint64_t>(o.protocol) + 1);
+    sys.SetCoverageObserver(coverage.get());
+  }
   std::unique_ptr<wkld::TraceWriter> trace_writer;
   std::unique_ptr<wkld::TraceRecorder> recorder;
   if (!o.record_trace_path.empty()) {
@@ -432,12 +460,25 @@ int Main(int argc, char** argv) {
                 static_cast<long long>(trace->recorded()),
                 static_cast<long long>(trace->dropped()));
   }
+  if (coverage != nullptr) {
+    std::printf("\nprotocol-state coverage (%s):\n%s", ProtocolName(o.protocol),
+                coverage->Report().c_str());
+  }
   if (!o.metrics_path.empty()) {
     RunSummaryMeta meta;
     meta.app = app->name();
     meta.scale = o.scale == AppScale::kPaper ? "paper"
                                              : (o.scale == AppScale::kTiny ? "tiny" : "default");
     meta.verified = verified;
+    if (coverage != nullptr) {
+      meta.coverage.enabled = true;
+      meta.coverage.points = static_cast<int64_t>(coverage->points());
+      meta.coverage.hits = coverage->hits();
+      for (int d = 0; d < CoverageObserver::kDomains; ++d) {
+        meta.coverage.domain_points[static_cast<size_t>(d)] = static_cast<int64_t>(
+            coverage->DomainPoints(static_cast<CoverageObserver::Domain>(d)));
+      }
+    }
     std::string err;
     if (!WriteRunSummaryJson(o.metrics_path, sys, meta, &err)) {
       std::fprintf(stderr, "metrics: %s\n", err.c_str());

@@ -28,6 +28,7 @@
 #include <vector>
 
 #include "src/apps/app.h"
+#include "src/common/cli.h"
 #include "src/common/rng.h"
 #include "src/proto/options.h"
 #include "src/svm/system.h"
@@ -41,17 +42,25 @@ namespace {
 
 using wkld::Record;
 
+const ToolInfo kTool = {
+    "svmwkld",
+    "Workload trace toolbox: record an application's shared-access/sync\n"
+    "workload, replay a captured trace under any protocol, generate seeded\n"
+    "synthetic workloads, and inspect trace files (docs/WORKLOADS.md).",
+    "  record --app=NAME --out=FILE [--protocol=P] [--nodes=N]\n"
+    "         [--scale=S] [--page-size=B] [--seed=N]\n"
+    "  replay --in=FILE [--protocol=P] [--nodes=N] [--page-size=B]\n"
+    "  gen    --pattern=NAME --out=FILE [--nodes=N] [--page-size=B]\n"
+    "         [--pages-per-node=N] [--iterations=N] [--ops=N]\n"
+    "         [--write-frac=F] [--locality=F] [--compute-ns=N] [--seed=N]\n"
+    "  stats  --in=FILE\n"
+    "  cat    --in=FILE [--node=N] [--limit=N]\n",
+    "COMMAND [flags]",
+};
+
 [[noreturn]] void Usage() {
-  std::fprintf(stderr,
-               "usage: svmwkld record --app=NAME --out=FILE [--protocol=P] [--nodes=N]\n"
-               "                      [--scale=S] [--page-size=B] [--seed=N]\n"
-               "       svmwkld replay --in=FILE [--protocol=P] [--nodes=N] [--page-size=B]\n"
-               "       svmwkld gen --pattern=NAME --out=FILE [--nodes=N] [--page-size=B]\n"
-               "                   [--pages-per-node=N] [--iterations=N] [--ops=N]\n"
-               "                   [--write-frac=F] [--locality=F] [--compute-ns=N] [--seed=N]\n"
-               "       svmwkld stats --in=FILE\n"
-               "       svmwkld cat --in=FILE [--node=N] [--limit=N]\n"
-               "patterns:");
+  PrintUsage(kTool, stderr);
+  std::fprintf(stderr, "patterns:");
   for (const std::string& p : wkld::SynthPatternNames()) {
     std::fprintf(stderr, " %s", p.c_str());
   }
@@ -126,7 +135,7 @@ Flags ParseFlags(int argc, char** argv, int first) {
       f.node = std::atoi(val("--node=").c_str());
     } else if (arg.rfind("--limit=", 0) == 0) {
       f.limit = std::atoll(val("--limit=").c_str());
-    } else {
+    } else if (!HandleCommonFlag(kTool, arg)) {
       std::fprintf(stderr, "unknown flag: %s\n", arg.c_str());
       Usage();
     }
@@ -390,6 +399,7 @@ int Main(int argc, char** argv) {
     Usage();
   }
   const std::string cmd = argv[1];
+  HandleCommonFlag(kTool, cmd);  // `svmwkld --help` / `--version` with no command.
   const Flags f = ParseFlags(argc, argv, 2);
   if (cmd == "record") return CmdRecord(f);
   if (cmd == "replay") return CmdReplay(f);
