@@ -55,7 +55,8 @@ ProtocolKind ParseProtocol(const std::string& s) {
                "          [--apps=lu,sor,water-nsq,water-sp,raytrace]\n"
                "          [--protocols=lrc,olrc,hlrc,ohlrc] [--page-size=N]\n"
                "          [--home=block|round-robin|single-node] [--no-verify]\n"
-               "          [--fault-drop=P] [--fault-seed=N] [--json=FILE] [--jobs=N]\n",
+               "          [--fault-drop=P] [--fault-seed=N] [--json=FILE] [--jobs=N]\n"
+               "          [--causal]\n",
                argv0);
   std::exit(2);
 }
@@ -114,6 +115,8 @@ BenchOptions ParseArgs(int argc, char** argv) {
       opts.json_out = value("--json=");
     } else if (arg.rfind("--jobs=", 0) == 0) {
       opts.jobs = std::atoi(value("--jobs=").c_str());
+    } else if (arg == "--causal") {
+      opts.causal = true;
     } else if (arg == "--no-verify") {
       opts.verify = false;
     } else if (arg == "--help" || arg == "-h") {

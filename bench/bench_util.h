@@ -37,6 +37,9 @@ struct BenchOptions {
   // machine-readable JSON file (schema "hlrc-bench" v1) for plotting and
   // regression tracking alongside the ASCII table.
   std::string json_out;
+  // Benchmarks that support it (fig3_time_breakdowns) add a causal-span
+  // critical-path companion table (docs/OBSERVABILITY.md).
+  bool causal = false;
 };
 
 // Parses --nodes=8,32,64 --scale=tiny|default|paper --apps=lu,sor

@@ -237,6 +237,29 @@ bool ValidateRunSummary(const JsonValue& root, std::string* err) {
     }
   }
 
+  // Optional causal-span section (svmsim --metrics-out records spans; see
+  // src/tracing). Structural checks only — this layer sits below src/tracing,
+  // so kind names and DAG well-formedness are checked by ParseSpans /
+  // CheckSpanDag (svmtrace --check).
+  const JsonValue* spans = root.Find("spans");
+  if (spans != nullptr) {
+    if (!spans->IsObject() || spans->GetString("schema") != "hlrc-spans" ||
+        !RequireInt(*spans, "version", 1, err) || !RequireInt(*spans, "dropped", 0, err)) {
+      return Fail(err, "spans: malformed section header");
+    }
+    const JsonValue* list;
+    if (!RequireArray(*spans, "spans", &list, err)) {
+      return false;
+    }
+    for (const JsonValue& s : list->arr) {
+      if (!s.IsObject() || !RequireInt(s, "id", 0, err) ||
+          s.Find("kind") == nullptr || !s.Find("kind")->IsString() ||
+          !RequireInt(s, "node", 0, err)) {
+        return Fail(err, "spans: malformed span entry");
+      }
+    }
+  }
+
   const JsonValue* totals;
   if (!RequireObject(root, "totals", &totals, err)) {
     return false;

@@ -11,6 +11,7 @@
 #include <memory>
 
 #include "src/common/types.h"
+#include "src/tracing/span.h"
 
 namespace hlrc {
 
@@ -52,6 +53,11 @@ struct Message {
   // Bytes of protocol metadata carried (write notices, timestamps, request
   // descriptors). The fixed per-message header is added by the network.
   int64_t protocol_bytes = 0;
+  // Causal parent for span tracing (src/tracing/span.h): the span that caused
+  // this message. Stamped by the sender, rewritten to the wire span in
+  // transit so the receiver's handler span chains through it. kNoSpan when
+  // tracing is off. Pure observation — never read by protocol logic.
+  SpanId span = kNoSpan;
   std::unique_ptr<Payload> payload;
 
   int64_t TotalBytes(int64_t header_bytes) const {

@@ -158,6 +158,17 @@ void Network::Transmit(const std::shared_ptr<WireFrame>& frame, bool retransmit)
     ins->queue_ns->Record(departure - now);
   }
 
+  // Span tracing: the frame's causal parent rides on the Message (acks carry
+  // none). Emitted spans never feed back into the simulation.
+  const SpanId cause =
+      (spans_ != nullptr && frame->msg != nullptr) ? frame->msg->span : kNoSpan;
+  SpanId queue_span = kNoSpan;
+  if (cause != kNoSpan && departure > now) {
+    queue_span = spans_->Emit(SpanKind::kQueue, frame->src, now, departure,
+                              kNoSpan, static_cast<int64_t>(frame->type));
+    spans_->AddLink(queue_span, cause);
+  }
+
   // Wire time: latency + hops. With wormhole routing the message is pipelined,
   // so the head arrives after the latency and the tail `xfer` later.
   SimTime head_arrival = departure + config_.base_latency +
@@ -219,6 +230,13 @@ void Network::Transmit(const std::shared_ptr<WireFrame>& frame, bool retransmit)
         ->Record(delivered - departure);
     *instruments_[static_cast<size_t>(frame->src)].bytes_in_flight += bytes;
   }
+  if (cause != kNoSpan) {
+    const SpanId w = spans_->Emit(SpanKind::kWire, frame->dst, departure,
+                                  delivered, kNoSpan,
+                                  static_cast<int64_t>(frame->type));
+    spans_->AddLink(w, queue_span != kNoSpan ? queue_span : cause);
+    frame->last_wire_span = w;
+  }
   engine_->ScheduleAt(delivered, [this, frame] { OnFrameArrival(frame); });
 
   if (coverage_ != nullptr && fault.extra_delay > 0) {
@@ -255,6 +273,11 @@ void Network::OnFrameArrival(const std::shared_ptr<WireFrame>& frame) {
     return;
   }
   HLRC_CHECK(!frame->is_ack);
+  if (frame->last_wire_span != kNoSpan) {
+    // The receiver's handler span chains from the wire span, not the sender's
+    // original cause, so the hop shows up in the DAG.
+    frame->msg->span = frame->last_wire_span;
+  }
   DeliverToHandler(std::move(*frame->msg));
 }
 

@@ -112,6 +112,12 @@ class Network {
   // Records net-level events (drops, retransmits, dup-drops) when non-null.
   void SetTraceLog(TraceLog* log) { trace_ = log; }
 
+  // Records causal spans (src/tracing/span.h): queue / wire sub-spans per
+  // transmission and retransmit sub-spans in the reliable channel, each
+  // linked from the Message's causal parent. Pure observation; pass nullptr
+  // to remove.
+  void SetSpanTracer(SpanTracer* spans) { spans_ = spans; }
+
   // Pre-resolves per-node network instruments (wire latency per MsgType,
   // send-queue delay, bytes-in-flight, retransmit latency/backlog) from
   // `metrics` and registers the network's sampler series. Must precede any
@@ -166,6 +172,7 @@ class Network {
   CoverageObserver* coverage_ = nullptr;
   std::vector<uint32_t> last_delivered_type_;  // Per dst, for kMsgEdge edges.
   TraceLog* trace_ = nullptr;
+  SpanTracer* spans_ = nullptr;
   std::vector<NodeInstruments> instruments_;
   std::unique_ptr<ReliableChannel> channel_;
   bool sent_anything_ = false;

@@ -41,6 +41,18 @@ void ReliableChannel::TransmitAttempt(SenderPair& sp, uint64_t seq) {
   HLRC_CHECK(it != sp.unacked.end());
   Outstanding& o = it->second;
   ++o.attempts;
+  if (o.attempts > 1 && network_->spans_ != nullptr && o.frame->msg != nullptr &&
+      o.frame->msg->span != kNoSpan) {
+    // A retransmission means the original cause has been blocked since the
+    // first submit: record that stretch so the critical path can attribute
+    // it to the retry machinery. The frame keeps its original causal parent
+    // (satellite: a dropped-then-retransmitted request must still produce one
+    // connected span DAG).
+    const SpanId r = network_->spans_->Emit(
+        SpanKind::kRetransmit, o.frame->src, o.first_submit, engine_->Now(),
+        kNoSpan, static_cast<int64_t>(o.frame->type), o.attempts - 1);
+    network_->spans_->AddLink(r, o.frame->msg->span);
+  }
   network_->Transmit(o.frame, /*retransmit=*/o.attempts > 1);
   // Exponential backoff: pure integer/double arithmetic on virtual time, so
   // identical runs schedule identical timers.
@@ -116,6 +128,11 @@ void ReliableChannel::OnArrival(const std::shared_ptr<WireFrame>& frame) {
   // First acceptance of this sequence number: take the payload out of the
   // shared frame (later duplicates are rejected by seq before touching it).
   Message msg = std::move(*frame->msg);
+  if (frame->last_wire_span != kNoSpan) {
+    // Chain the receiver's handler span from the wire span of the physical
+    // copy that actually made it (retransmissions alias the same Message).
+    msg.span = frame->last_wire_span;
+  }
   if (frame->seq != rp.next_expected) {
     rp.held.emplace(frame->seq, std::move(msg));  // Out of order: hold for the gap.
     return;

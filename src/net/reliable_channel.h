@@ -67,6 +67,9 @@ struct WireFrame {
   uint64_t seq = 0;
   bool is_ack = false;
   uint64_t ack_seq = 0;  // Valid when is_ack.
+  // Wire span of the latest physical transmission that reached the receiving
+  // NIC (span tracing; kNoSpan when tracing is off or the copy was lost).
+  SpanId last_wire_span = kNoSpan;
   std::shared_ptr<Message> msg;  // Null for acks.
 };
 

@@ -46,6 +46,7 @@ void AurcProtocol::OnIntervalClosed(IntervalRecord* rec, CloseActions* actions) 
     payload->page = p;
     payload->interval = rec->id;
     payload->diff = std::move(d);
+    SpanCause sc(this, interval_close_span());
     Send(home, MsgType::kDiffFlush, wire_bytes, 16, std::move(payload));
   }
   rec->pages = std::move(kept);
@@ -55,8 +56,11 @@ void AurcProtocol::OnIntervalClosed(IntervalRecord* rec, CloseActions* actions) 
 void AurcProtocol::HandleProtocolMessage(Message msg) {
   if (msg.type == MsgType::kDiffFlush) {
     // Automatic updates land in home memory without interrupting either
-    // processor: apply at delivery, zero occupancy.
+    // processor: apply at delivery, zero occupancy. The zero-duration span
+    // keeps the causal chain connected (e.g. a home-wait released by this
+    // flush still traces back to the writer's interval close).
     auto* p = static_cast<DiffFlushPayload*>(msg.payload.get());
+    SpanCause sc(this, SpanEmit(SpanKind::kDiffApply, engine()->Now(), msg.span, p->page));
     HandleDiffFlush(p->writer, p->page, p->interval, p->diff);
     return;
   }

@@ -39,7 +39,9 @@ void ErcProtocol::OnIntervalClosed(IntervalRecord* rec, CloseActions* actions) {
   // messages only leave after the diff costs have been charged.
   const uint64_t flush_id = next_flush_id_++;
   flushes_[flush_id] = nodes() - 1;
-  actions->post = [this, flush_id, diffs = std::move(diffs), update_bytes]() mutable {
+  actions->post = [this, flush_id, diffs = std::move(diffs), update_bytes,
+                   cause = interval_close_span()]() mutable {
+    SpanCause sc(this, cause);
     // Broadcast the updates to every other copy (all nodes hold copies:
     // nothing is ever invalidated under an update protocol). The flush is
     // fire-and-forget here; FlushBarrier gates outgoing grants and barrier
@@ -133,6 +135,8 @@ void ErcProtocol::HandleAck(uint64_t flush_id) {
 }
 
 void ErcProtocol::HandleProtocolMessage(Message msg) {
+  const SpanId cause = msg.span;
+  const SimTime t_arrive = engine()->Now();
   switch (msg.type) {
     case MsgType::kDiffFlush: {
       auto* p = static_cast<ErcUpdatePayload*>(msg.payload.get());
@@ -144,8 +148,12 @@ void ErcProtocol::HandleProtocolMessage(Message msg) {
       // core cost of an eager update protocol.
       Serve(/*on_coproc=*/false, /*interrupt=*/true,
             costs().DiffApplyCost(apply_bytes), BusyCat::kDiffApply,
-            [this, writer = p->writer, flush_id = p->flush_id, diffs = std::move(p->diffs),
-             apply_bytes]() mutable {
+            [this, cause, t_arrive, writer = p->writer, flush_id = p->flush_id,
+             diffs = std::move(p->diffs), apply_bytes]() mutable {
+              // The ack sent by HandleUpdate inherits this context, so the
+              // writer's flush barrier chains through the apply.
+              SpanCause sc(this, SpanEmit(SpanKind::kDiffApply, t_arrive, cause,
+                                          static_cast<int64_t>(flush_id)));
               HandleUpdate(writer, flush_id, std::move(diffs), apply_bytes);
             });
       return;
@@ -153,7 +161,11 @@ void ErcProtocol::HandleProtocolMessage(Message msg) {
     case MsgType::kDiffReply: {
       auto* p = static_cast<ErcAckPayload*>(msg.payload.get());
       Serve(/*on_coproc=*/false, /*interrupt=*/false, 0, BusyCat::kService,
-            [this, flush_id = p->flush_id] { HandleAck(flush_id); });
+            [this, cause, t_arrive, flush_id = p->flush_id] {
+              SpanCause sc(this, SpanEmit(SpanKind::kService, t_arrive, cause,
+                                          static_cast<int64_t>(flush_id)));
+              HandleAck(flush_id);
+            });
       return;
     }
     default:

@@ -110,7 +110,11 @@ void HlrcProtocol::OnIntervalClosed(IntervalRecord* rec, CloseActions* actions) 
     NoteMemory();
 
     auto send_flush = [this, home, p, id = rec->id, diff_bytes,
+                       cause = interval_close_span(),
                        diff = std::make_shared<Diff>(std::move(d))] {
+      // The flush is causally part of the interval close, not of whatever
+      // message happens to be in service when the co-processor finishes.
+      SpanCause sc(this, cause);
       auto payload = std::make_unique<DiffFlushPayload>();
       payload->writer = self();
       payload->page = p;
@@ -130,7 +134,8 @@ void HlrcProtocol::OnIntervalClosed(IntervalRecord* rec, CloseActions* actions) 
   rec->pages = std::move(kept);
 
   if (!flushes.empty() || !cop_work.empty()) {
-    actions->post = [this, flushes = std::move(flushes), cop_work = std::move(cop_work)] {
+    actions->post = [this, flushes = std::move(flushes), cop_work = std::move(cop_work),
+                     cause = interval_close_span()] {
       // Non-overlapped: diffs were computed on the compute processor (cost
       // already charged); send them now, one message per diff (paper §4.6).
       for (const auto& send : flushes) {
@@ -139,7 +144,11 @@ void HlrcProtocol::OnIntervalClosed(IntervalRecord* rec, CloseActions* actions) 
       // Overlapped: the co-processor computes each diff and sends it to the
       // home when done; the compute processor continues immediately.
       for (const auto& [cost, send] : cop_work) {
-        env().cop->RunService(cost, BusyCat::kDiffCreate, send);
+        const SimTime t0 = engine()->Now();
+        env().cop->RunService(cost, BusyCat::kDiffCreate, [this, t0, cause, send] {
+          SpanEmit(SpanKind::kDiffCreate, t0, cause);
+          send();
+        });
       }
     };
   }
@@ -216,7 +225,12 @@ Task<void> HlrcProtocol::ResolveFault(PageId page, bool write) {
           payload->required = *req;
         }
         const int64_t req_bytes = 16 + 8 * static_cast<int64_t>(payload->required.size());
-        Send(home, MsgType::kPageRequest, 0, req_bytes, std::move(payload));
+        {
+          // Chain the request from the fault root (scoped: the context must
+          // not survive across the suspension below).
+          SpanCause sc(this, cur_fault_span_);
+          Send(home, MsgType::kPageRequest, 0, req_bytes, std::move(payload));
+        }
 
         co_await *fw.done;
         FaultWait& done_fw = fault_waiting_[page];
@@ -421,7 +435,8 @@ void HlrcProtocol::HandlePageRequest(PageId page, NodeId requester, Required req
   // (paper §2.4.2).
   HLRC_TRACE("[%lld] home %d: park request page=%d from node %d", (long long)engine()->Now(),
              self(), page, requester);
-  pending_reqs_[page].push_back(PendingReq{requester, std::move(required)});
+  pending_reqs_[page].push_back(
+      PendingReq{requester, std::move(required), active_span_, engine()->Now()});
 }
 
 void HlrcProtocol::SendPageReply(PageId page, NodeId requester) {
@@ -443,6 +458,12 @@ void HlrcProtocol::ServePendingRequests(PageId page) {
   auto& reqs = it->second;
   for (auto rit = reqs.begin(); rit != reqs.end();) {
     if (AppliedSatisfies(page, rit->required)) {
+      // The stretch this request sat parked waiting for in-flight diffs:
+      // charged to the home, chained from the parked request so it lands on
+      // the requester's fault critical path.
+      const SpanId hw = SpanEmit(SpanKind::kHomeWait, rit->parked_at, rit->span, page,
+                                 rit->requester);
+      SpanCause sc(this, hw);
       SendPageReply(page, rit->requester);
       rit = reqs.erase(rit);
     } else {
@@ -455,6 +476,8 @@ void HlrcProtocol::ServePendingRequests(PageId page) {
 }
 
 void HlrcProtocol::HandleProtocolMessage(Message msg) {
+  const SpanId cause = msg.span;
+  const SimTime t_arrive = engine()->Now();
   switch (msg.type) {
     case MsgType::kDiffFlush: {
       auto* p = static_cast<DiffFlushPayload*>(msg.payload.get());
@@ -462,8 +485,10 @@ void HlrcProtocol::HandleProtocolMessage(Message msg) {
       // Applying the diff at the home: co-processor under OHLRC, interrupt +
       // compute processor under HLRC.
       ServeDataRequest(cost, BusyCat::kDiffApply,
-                       [this, writer = p->writer, page = p->page, interval = p->interval,
-                        diff = std::move(p->diff)] {
+                       [this, cause, t_arrive, writer = p->writer, page = p->page,
+                        interval = p->interval, diff = std::move(p->diff)] {
+                         SpanCause sc(this,
+                                      SpanEmit(SpanKind::kDiffApply, t_arrive, cause, page));
                          HandleDiffFlush(writer, page, interval, diff);
                        });
       return;
@@ -471,8 +496,10 @@ void HlrcProtocol::HandleProtocolMessage(Message msg) {
     case MsgType::kPageRequest: {
       auto* p = static_cast<HomePageRequestPayload*>(msg.payload.get());
       ServeDataRequest(costs().service_fixed, BusyCat::kService,
-                       [this, page = p->page, requester = p->requester,
+                       [this, cause, t_arrive, page = p->page, requester = p->requester,
                         required = std::move(p->required)]() mutable {
+                         SpanCause sc(this,
+                                      SpanEmit(SpanKind::kService, t_arrive, cause, page));
                          HandlePageRequest(page, requester, std::move(required));
                        });
       return;
@@ -480,7 +507,9 @@ void HlrcProtocol::HandleProtocolMessage(Message msg) {
     case MsgType::kPageReply: {
       auto* p = static_cast<HomePageReplyPayload*>(msg.payload.get());
       Serve(/*on_coproc=*/false, /*interrupt=*/false, 0, BusyCat::kService,
-            [this, page = p->page, home = p->home, data = std::move(p->data)]() mutable {
+            [this, cause, t_arrive, page = p->page, home = p->home,
+             data = std::move(p->data)]() mutable {
+              SpanCause sc(this, SpanEmit(SpanKind::kService, t_arrive, cause, page));
               if (home != self() && (home != HomeOf(page) || home_override_.count(page) != 0)) {
                 home_override_[page] = home;  // Path shortening after migration.
               }
@@ -499,8 +528,10 @@ void HlrcProtocol::HandleProtocolMessage(Message msg) {
     case MsgType::kHomeTransfer: {
       auto* p = static_cast<HomeTransferPayload*>(msg.payload.get());
       ServeDataRequest(costs().service_fixed, BusyCat::kService,
-                       [this, page = p->page, old_home = p->old_home,
+                       [this, cause, t_arrive, page = p->page, old_home = p->old_home,
                         data = std::move(p->data), applied = std::move(p->applied)] {
+                         SpanCause sc(this,
+                                      SpanEmit(SpanKind::kService, t_arrive, cause, page));
                          HandleHomeTransfer(page, old_home, data, applied);
                        });
       return;

@@ -55,6 +55,10 @@ class HlrcProtocol : public ProtocolNode {
   struct PendingReq {
     NodeId requester;
     Required required;
+    // Span tracing: the parked request's causal context and park time, so the
+    // home-wait stretch shows up on the requester's fault critical path.
+    SpanId span = kNoSpan;
+    SimTime parked_at = 0;
   };
 
   // The node currently believed to home `page`: a migration override if one

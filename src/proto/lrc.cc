@@ -203,14 +203,19 @@ Task<void> LrcProtocol::FetchDiffs(PageId page) {
   ctx.done = std::make_unique<Completion>(engine());
   stats_.diff_requests_sent += static_cast<int64_t>(by_writer.size());
 
-  for (auto& [writer, ids] : by_writer) {
-    HLRC_CHECK(writer != self());
-    auto payload = std::make_unique<DiffRequestPayload>();
-    payload->page = page;
-    payload->requester = self();
-    payload->intervals = ids;
-    Send(writer, MsgType::kDiffRequest, 0, 16 + 4 * static_cast<int64_t>(ids.size()),
-         std::move(payload));
+  {
+    // Chain the requests from the fault root (kNoSpan under GC validation).
+    // Scoped: the context must not survive across the suspension below.
+    SpanCause sc(this, cur_fault_span_);
+    for (auto& [writer, ids] : by_writer) {
+      HLRC_CHECK(writer != self());
+      auto payload = std::make_unique<DiffRequestPayload>();
+      payload->page = page;
+      payload->requester = self();
+      payload->intervals = ids;
+      Send(writer, MsgType::kDiffRequest, 0, 16 + 4 * static_cast<int64_t>(ids.size()),
+           std::move(payload));
+    }
   }
 
   co_await *ctx.done;
@@ -224,7 +229,9 @@ Task<void> LrcProtocol::FetchDiffs(PageId page) {
             [](const auto& a, const auto& b) { return std::get<0>(a).TotalOrderLess(std::get<0>(b)); });
 
   for (auto& [vt, id, writer, diff] : collected) {
+    const SimTime t_apply = engine()->Now();
     co_await ChargeCpu(costs().DiffApplyCost(diff.DataBytes()), BusyCat::kDiffApply);
+    SpanEmit(SpanKind::kDiffApply, t_apply, cur_fault_span_, page, writer);
     HLRC_TRACE("[%lld] node %d: apply diff page=%d writer=%d id=%u bytes=%lld",
                (long long)engine()->Now(), self(), page, writer, id,
                (long long)diff.DataBytes());
@@ -258,7 +265,10 @@ Task<void> LrcProtocol::FetchFullPage(PageId page) {
   auto payload = std::make_unique<HomelessPageRequestPayload>();
   payload->page = page;
   payload->requester = self();
-  Send(target, MsgType::kPageRequest, 0, 16, std::move(payload));
+  {
+    SpanCause sc(this, cur_fault_span_);
+    Send(target, MsgType::kPageRequest, 0, 16, std::move(payload));
+  }
 
   co_await *ctx.done;
 
@@ -299,9 +309,14 @@ void LrcProtocol::TrySendDiffReply(PageId page, NodeId requester,
                    page, id);
     if (!it->second.ready) {
       // Diff computation still in progress on the co-processor: queue the
-      // request until it completes (paper §2.4.1).
+      // request until it completes (paper §2.4.1). The retry runs from the
+      // co-processor's completion, so re-establish the requester's causal
+      // context explicitly.
       diff_ready_waiters_[DiffKey{page, id}].push_back(
-          [this, page, requester, ids] { TrySendDiffReply(page, requester, ids); });
+          [this, page, requester, ids, cause = active_span_] {
+            SpanCause sc(this, cause);
+            TrySendDiffReply(page, requester, ids);
+          });
       return;
     }
   }
@@ -330,7 +345,16 @@ void LrcProtocol::TrySendDiffReply(PageId page, NodeId requester,
     Send(requester, MsgType::kDiffReply, update_bytes, 16, std::move(*payload));
   };
   if (deferred_cost > 0) {
-    env().cpu->RunService(deferred_cost, BusyCat::kDiffCreate, std::move(send));
+    // The lazy diff creation sits on the requester's critical path: record it
+    // and chain the reply from it.
+    const SimTime t0 = engine()->Now();
+    env().cpu->RunService(deferred_cost, BusyCat::kDiffCreate,
+                          [this, t0, page, cause = active_span_,
+                           send = std::move(send)]() mutable {
+                            SpanCause sc(this,
+                                         SpanEmit(SpanKind::kDiffCreate, t0, cause, page));
+                            send();
+                          });
   } else {
     send();
   }
@@ -357,18 +381,26 @@ void LrcProtocol::ServePageRequest(PageId page, NodeId requester) {
 }
 
 void LrcProtocol::HandleProtocolMessage(Message msg) {
+  const SpanId cause = msg.span;
+  const SimTime t_arrive = engine()->Now();
   switch (msg.type) {
     case MsgType::kDiffRequest: {
       auto* p = static_cast<DiffRequestPayload*>(msg.payload.get());
       ServeDataRequest(costs().service_fixed, BusyCat::kService,
-                       [this, page = p->page, requester = p->requester,
-                        ids = std::move(p->intervals)] { TrySendDiffReply(page, requester, ids); });
+                       [this, cause, t_arrive, page = p->page, requester = p->requester,
+                        ids = std::move(p->intervals)] {
+                         SpanCause sc(this,
+                                      SpanEmit(SpanKind::kService, t_arrive, cause, page));
+                         TrySendDiffReply(page, requester, ids);
+                       });
       return;
     }
     case MsgType::kDiffReply: {
       auto* p = static_cast<DiffReplyPayload*>(msg.payload.get());
       Serve(/*on_coproc=*/false, /*interrupt=*/false, 0, BusyCat::kService,
-            [this, page = p->page, writer = p->writer, diffs = std::move(p->diffs)]() mutable {
+            [this, cause, t_arrive, page = p->page, writer = p->writer,
+             diffs = std::move(p->diffs)]() mutable {
+              SpanCause sc(this, SpanEmit(SpanKind::kService, t_arrive, cause, page));
               auto it = faults_.find(page);
               HLRC_CHECK(it != faults_.end());
               FaultCtx& ctx = it->second;
@@ -390,7 +422,9 @@ void LrcProtocol::HandleProtocolMessage(Message msg) {
     case MsgType::kPageRequest: {
       auto* p = static_cast<HomelessPageRequestPayload*>(msg.payload.get());
       ServeDataRequest(costs().service_fixed, BusyCat::kService,
-                       [this, page = p->page, requester = p->requester] {
+                       [this, cause, t_arrive, page = p->page, requester = p->requester] {
+                         SpanCause sc(this,
+                                      SpanEmit(SpanKind::kService, t_arrive, cause, page));
                          ServePageRequest(page, requester);
                        });
       return;
@@ -398,8 +432,9 @@ void LrcProtocol::HandleProtocolMessage(Message msg) {
     case MsgType::kPageReply: {
       auto* p = static_cast<HomelessPageReplyPayload*>(msg.payload.get());
       Serve(/*on_coproc=*/false, /*interrupt=*/false, costs().page_protect, BusyCat::kFault,
-            [this, page = p->page, data = std::move(p->data),
+            [this, cause, t_arrive, page = p->page, data = std::move(p->data),
              covered = std::move(p->covered)]() mutable {
+              SpanCause sc(this, SpanEmit(SpanKind::kService, t_arrive, cause, page));
               auto it = faults_.find(page);
               HLRC_CHECK(it != faults_.end());
               it->second.page_data = std::move(data);
@@ -413,14 +448,18 @@ void LrcProtocol::HandleProtocolMessage(Message msg) {
     case MsgType::kGcRequest: {
       Serve(/*on_coproc=*/false, /*interrupt=*/true,
             costs().gc_fixed + costs().gc_per_page * static_cast<SimTime>(diff_store_.size()),
-            BusyCat::kGc, [this] { HandleGcRequest(); });
+            BusyCat::kGc, [this, cause, t_arrive] {
+              SpanCause sc(this, SpanEmit(SpanKind::kService, t_arrive, cause));
+              HandleGcRequest();
+            });
       return;
     }
     case MsgType::kGcInfo: {
       auto* p = static_cast<GcInfoPayload*>(msg.payload.get());
       Serve(/*on_coproc=*/false, /*interrupt=*/false,
             costs().gc_per_page * static_cast<SimTime>(p->entries.size()), BusyCat::kGc,
-            [this, node = p->node, entries = std::move(p->entries)]() mutable {
+            [this, cause, t_arrive, node = p->node, entries = std::move(p->entries)]() mutable {
+              SpanCause sc(this, SpanEmit(SpanKind::kService, t_arrive, cause));
               HandleGcInfo(node, std::move(entries));
             });
       return;
@@ -429,13 +468,19 @@ void LrcProtocol::HandleProtocolMessage(Message msg) {
       auto* p = static_cast<GcValidatePayload*>(msg.payload.get());
       Serve(/*on_coproc=*/false, /*interrupt=*/true,
             costs().gc_per_page * static_cast<SimTime>(p->validators.size()), BusyCat::kGc,
-            [this, validators = std::move(p->validators),
-             intervals = std::move(p->intervals)] { ApplyGcValidate(validators, intervals); });
+            [this, cause, t_arrive, validators = std::move(p->validators),
+             intervals = std::move(p->intervals)] {
+              SpanCause sc(this, SpanEmit(SpanKind::kService, t_arrive, cause));
+              ApplyGcValidate(validators, intervals);
+            });
       return;
     }
     case MsgType::kGcDone: {
       Serve(/*on_coproc=*/false, /*interrupt=*/false, costs().gc_fixed, BusyCat::kGc,
-            [this] { HandleGcDone(); });
+            [this, cause, t_arrive] {
+              SpanCause sc(this, SpanEmit(SpanKind::kService, t_arrive, cause));
+              HandleGcDone();
+            });
       return;
     }
     default:
@@ -461,11 +506,16 @@ Task<void> LrcProtocol::BarrierPreRelease(BarrierId barrier, bool mem_pressure) 
   gc_coord_->infos_done = std::make_unique<Completion>(engine());
   gc_coord_->dones_done = std::make_unique<Completion>(engine());
 
-  for (NodeId n = 0; n < nodes(); ++n) {
-    if (n == self()) {
-      HandleGcRequest();
-    } else {
-      Send(n, MsgType::kGcRequest, 0, 8, std::make_unique<GcRequestPayload>());
+  {
+    // GC happens while every node sits inside the barrier: chain it from the
+    // manager's gather span so the cost lands on the barrier critical path.
+    SpanCause sc(this, BarrierGatherSpan(barrier));
+    for (NodeId n = 0; n < nodes(); ++n) {
+      if (n == self()) {
+        HandleGcRequest();
+      } else {
+        Send(n, MsgType::kGcRequest, 0, 8, std::make_unique<GcRequestPayload>());
+      }
     }
   }
   co_await *gc_coord_->infos_done;
@@ -477,19 +527,22 @@ Task<void> LrcProtocol::BarrierPreRelease(BarrierId barrier, bool mem_pressure) 
     validators.emplace_back(page, best.second);
   }
 
-  for (NodeId n = 0; n < nodes(); ++n) {
-    std::vector<IntervalRecord> missing = PackBarrierReleaseFor(barrier, n);
-    if (n == self()) {
-      ApplyGcValidate(validators, missing);
-    } else {
-      int64_t bytes = 8 + 8 * static_cast<int64_t>(validators.size());
-      for (const IntervalRecord& rec : missing) {
-        bytes += IntervalBytes(rec);
+  {
+    SpanCause sc(this, BarrierGatherSpan(barrier));
+    for (NodeId n = 0; n < nodes(); ++n) {
+      std::vector<IntervalRecord> missing = PackBarrierReleaseFor(barrier, n);
+      if (n == self()) {
+        ApplyGcValidate(validators, missing);
+      } else {
+        int64_t bytes = 8 + 8 * static_cast<int64_t>(validators.size());
+        for (const IntervalRecord& rec : missing) {
+          bytes += IntervalBytes(rec);
+        }
+        auto payload = std::make_unique<GcValidatePayload>();
+        payload->validators = validators;
+        payload->intervals = std::move(missing);
+        Send(n, MsgType::kGcValidate, 0, bytes, std::move(payload));
       }
-      auto payload = std::make_unique<GcValidatePayload>();
-      payload->validators = validators;
-      payload->intervals = std::move(missing);
-      Send(n, MsgType::kGcValidate, 0, bytes, std::move(payload));
     }
   }
   co_await *gc_coord_->dones_done;

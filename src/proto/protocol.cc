@@ -132,6 +132,7 @@ void ProtocolNode::Send(NodeId dst, MsgType type, int64_t update_bytes, int64_t 
   msg.type = type;
   msg.update_bytes = update_bytes;
   msg.protocol_bytes = protocol_bytes;
+  msg.span = active_span_;  // Causal parent for span tracing (observation only).
   msg.payload = std::move(payload);
   env_.network->Send(std::move(msg));
 }
@@ -224,6 +225,12 @@ ProtocolNode::CloseActions ProtocolNode::CloseIntervalPrepared() {
             2);  // Cause 2: interval-close reprotection.
     }
   }
+
+  // The close span is the causal origin of the flush fan-out: subclasses
+  // capture it (via interval_close_span()) into their deferred send lambdas.
+  interval_close_span_ =
+      SpanEmit(SpanKind::kIntervalClose, engine()->Now(), active_span_,
+               static_cast<int64_t>(rec.id), static_cast<int64_t>(rec.pages.size()));
 
   OnIntervalClosed(&rec, &actions);
 
@@ -339,6 +346,10 @@ Task<void> ProtocolNode::EnsureAccessSpans(std::vector<PageSpan> spans) {
     }
 
     WaitScope ws(this, WaitCat::kData);
+    const SpanId fault_span =
+        SpanBegin(SpanKind::kFault, fault_page, fault_write ? 1 : 0);
+    SpanVt(fault_span);
+    cur_fault_span_ = fault_span;
     Trace(TraceEvent::kFault, fault_page, fault_write ? 1 : 0);
     co_await ChargeCpu(costs().page_fault, BusyCat::kFault);
     if (fault_invalid) {
@@ -361,6 +372,8 @@ Task<void> ProtocolNode::EnsureAccessSpans(std::vector<PageSpan> spans) {
               static_cast<uint64_t>(env_.pages->State(fault_page).prot),
           fault_write ? 4 : 3);  // Cause 3: read fault, 4: write fault.
     HLRC_DCHECK(env_.pages->State(fault_page).prot != PageProt::kNone);
+    cur_fault_span_ = kNoSpan;
+    SpanEnd(fault_span);
     ws.Finish();
   }
 }
@@ -411,17 +424,22 @@ Task<void> ProtocolNode::Acquire(LockId lock) {
   co_await CloseIntervalFromApp();
 
   WaitScope ws(this, WaitCat::kLock);
+  const SpanId lock_span = SpanBegin(SpanKind::kLock, lock);
+  SpanVt(lock_span);
   ls.waiting = std::make_unique<Completion>(env_.engine);
 
-  const NodeId manager = LockManagerNode(lock);
-  if (manager == env_.self) {
-    HandleLockRequest(lock, env_.self, vt_);
-  } else {
-    auto payload = std::make_unique<LockRequestPayload>();
-    payload->lock = lock;
-    payload->requester = env_.self;
-    payload->vt = vt_;
-    Send(manager, MsgType::kLockRequest, 0, 8 + vt_.EncodedSize(), std::move(payload));
+  {
+    SpanCause sc(this, lock_span);
+    const NodeId manager = LockManagerNode(lock);
+    if (manager == env_.self) {
+      HandleLockRequest(lock, env_.self, vt_);
+    } else {
+      auto payload = std::make_unique<LockRequestPayload>();
+      payload->lock = lock;
+      payload->requester = env_.self;
+      payload->vt = vt_;
+      Send(manager, MsgType::kLockRequest, 0, 8 + vt_.EncodedSize(), std::move(payload));
+    }
   }
 
   co_await *ls.waiting;
@@ -431,6 +449,11 @@ Task<void> ProtocolNode::Acquire(LockId lock) {
   ls2.waiting.reset();
   ls2.held = true;
   ls2.in_use = true;
+  SpanEnd(lock_span);
+  // The critical section itself: a later requester's wait that overlaps it is
+  // attributed to compute (the holder was legitimately working).
+  ls2.hold_span = SpanBegin(SpanKind::kLockHold, lock);
+  SpanLink(ls2.hold_span, lock_span);
   ws.Finish();
 }
 
@@ -441,8 +464,10 @@ Task<void> ProtocolNode::Release(LockId lock) {
   if (ls.pending_requester != kInvalidNode) {
     const NodeId requester = ls.pending_requester;
     VectorClock rvt = std::move(ls.pending_vt);
+    const SpanId pending_span = ls.pending_span;
     ls.pending_requester = kInvalidNode;
-    GrantLock(lock, requester, rvt);
+    ls.pending_span = kNoSpan;
+    GrantLock(lock, requester, rvt, pending_span);
   }
   co_return;
 }
@@ -468,7 +493,7 @@ void ProtocolNode::HandleLockForward(LockId lock, NodeId requester, const Vector
   if (ls.held && !ls.in_use) {
     // Idle holder: receiving the remote request delimits the interval
     // (paper §2.1 case (ii)) and we grant immediately.
-    GrantLock(lock, requester, rvt);
+    GrantLock(lock, requester, rvt, active_span_);
     return;
   }
   // Either the app is inside the critical section or we are ourselves still
@@ -477,9 +502,11 @@ void ProtocolNode::HandleLockForward(LockId lock, NodeId requester, const Vector
                  "node %d: two pending requesters for lock %d", env_.self, lock);
   ls.pending_requester = requester;
   ls.pending_vt = rvt;
+  ls.pending_span = active_span_;  // Re-established as the grant's cause at release.
 }
 
-void ProtocolNode::GrantLock(LockId lock, NodeId requester, const VectorClock& rvt) {
+void ProtocolNode::GrantLock(LockId lock, NodeId requester, const VectorClock& rvt,
+                             SpanId cause) {
   Trace(TraceEvent::kLockGrant, lock, requester);
   HLRC_TRACE("[%lld] node %d: grant lock %d -> node %d", (long long)engine()->Now(), env_.self,
              lock, requester);
@@ -487,15 +514,23 @@ void ProtocolNode::GrantLock(LockId lock, NodeId requester, const VectorClock& r
   HLRC_CHECK(ls.held && !ls.in_use);
   ls.held = false;
 
+  // The critical section ends here. Linking the hold span from the parked
+  // requester's context makes it a causal descendant of the requester's
+  // acquire root, so the overlap is attributed to compute.
+  SpanEnd(ls.hold_span);
+  SpanLink(ls.hold_span, cause);
+  ls.hold_span = kNoSpan;
+
   CloseActions actions = CloseIntervalPrepared();
 
-  auto send_grant = [this, lock, requester, rvt] {
+  auto send_grant = [this, lock, requester, rvt, cause] {
     std::vector<IntervalRecord> recs = PackIntervalsFor(rvt);
     const SimTime pack_cost =
         costs().lock_handling + costs().wn_pack * static_cast<SimTime>(recs.size());
+    const SimTime t_dispatch = engine()->Now();
     env_.cpu->RunService(
         pack_cost, BusyCat::kWriteNotice,
-        [this, lock, requester, recs = std::move(recs)]() mutable {
+        [this, lock, requester, cause, t_dispatch, recs = std::move(recs)]() mutable {
           int64_t bytes = 16;
           for (const IntervalRecord& rec : recs) {
             bytes += IntervalBytes(rec);
@@ -503,6 +538,9 @@ void ProtocolNode::GrantLock(LockId lock, NodeId requester, const VectorClock& r
           auto payload = std::make_unique<LockGrantPayload>();
           payload->lock = lock;
           payload->intervals = std::move(recs);
+          const SpanId grant_span =
+              SpanEmit(SpanKind::kService, t_dispatch, cause, lock);
+          SpanCause sc(this, grant_span);
           Send(requester, MsgType::kLockGrant, 0, bytes, std::move(payload));
         });
   };
@@ -531,7 +569,10 @@ void ProtocolNode::HandleLockGrant(LockId lock, std::vector<IntervalRecord> inte
   Cover(CoverageObserver::Domain::kSyncEpoch, 0,
         CoverageBucket(intervals.size()));  // Sync kind 0: lock grant.
   const SimTime cost = ApplyIntervals(intervals);
-  env_.cpu->RunService(cost, BusyCat::kWriteNotice, [this, lock] {
+  const SpanId cause = active_span_;
+  const SimTime t0 = engine()->Now();
+  env_.cpu->RunService(cost, BusyCat::kWriteNotice, [this, lock, cause, t0] {
+    SpanEmit(SpanKind::kWnApply, t0, cause, lock);
     LockState& ls = Lock(lock);
     HLRC_CHECK(ls.waiting != nullptr);
     ls.waiting->Complete();
@@ -547,6 +588,8 @@ Task<void> ProtocolNode::Barrier(BarrierId barrier) {
   co_await CloseIntervalFromApp();
 
   WaitScope ws(this, WaitCat::kBarrier);
+  const SpanId bar_span = SpanBegin(SpanKind::kBarrier, barrier);
+  SpanVt(bar_span);
   HLRC_CHECK(barrier_waiting_ == nullptr);
   barrier_waiting_ = std::make_unique<Completion>(env_.engine);
 
@@ -556,25 +599,29 @@ Task<void> ProtocolNode::Barrier(BarrierId barrier) {
   const bool pressure =
       !home_based() && ProtocolMemoryBytes() > env_.options->gc_threshold_bytes;
 
-  if (env_.self == kBarrierManager) {
-    HandleBarrierEnter(barrier, env_.self, vt_, std::move(recs), pressure);
-  } else {
-    int64_t bytes = 16 + vt_.EncodedSize();
-    for (const IntervalRecord& rec : recs) {
-      bytes += IntervalBytes(rec);
+  {
+    SpanCause sc(this, bar_span);
+    if (env_.self == kBarrierManager) {
+      HandleBarrierEnter(barrier, env_.self, vt_, std::move(recs), pressure);
+    } else {
+      int64_t bytes = 16 + vt_.EncodedSize();
+      for (const IntervalRecord& rec : recs) {
+        bytes += IntervalBytes(rec);
+      }
+      auto payload = std::make_unique<BarrierEnterPayload>();
+      payload->barrier = barrier;
+      payload->node = env_.self;
+      payload->vt = vt_;
+      payload->intervals = std::move(recs);
+      payload->mem_pressure = pressure;
+      Send(kBarrierManager, MsgType::kBarrierEnter, 0, bytes, std::move(payload));
     }
-    auto payload = std::make_unique<BarrierEnterPayload>();
-    payload->barrier = barrier;
-    payload->node = env_.self;
-    payload->vt = vt_;
-    payload->intervals = std::move(recs);
-    payload->mem_pressure = pressure;
-    Send(kBarrierManager, MsgType::kBarrierEnter, 0, bytes, std::move(payload));
   }
 
   co_await *barrier_waiting_;
   barrier_waiting_.reset();
   Trace(TraceEvent::kBarrierExit, barrier);
+  SpanEnd(bar_span);
   ws.Finish();
 }
 
@@ -590,6 +637,13 @@ void ProtocolNode::HandleBarrierEnter(BarrierId barrier, NodeId node, const Vect
   bm.arrival_vt[static_cast<size_t>(node)] = nvt;
   bm.mem_pressure = bm.mem_pressure || mem_pressure;
   ++bm.arrived;
+
+  if (bm.gather_span == kNoSpan) {
+    bm.gather_span = SpanBegin(SpanKind::kBarrierGather, barrier);
+  }
+  // Every arrival (the manager's own included) is a causal input to the
+  // gather: a straggler's wait overlapping it counts as compute.
+  SpanLink(bm.gather_span, active_span_);
 
   const SimTime cost = costs().barrier_handling + ApplyIntervals(intervals);
   // Merge in case the arriving vt is ahead in components we have no records
@@ -620,9 +674,17 @@ std::vector<IntervalRecord> ProtocolNode::PackBarrierReleaseFor(BarrierId barrie
   return PackIntervalsFor(it->second.arrival_vt[static_cast<size_t>(node)]);
 }
 
+SpanId ProtocolNode::BarrierGatherSpan(BarrierId barrier) const {
+  auto it = barrier_mgr_.find(barrier);
+  return it != barrier_mgr_.end() ? it->second.gather_span : kNoSpan;
+}
+
 void ProtocolNode::SendBarrierReleases(BarrierId barrier) {
   BarrierManagerState bm = std::move(barrier_mgr_[barrier]);
   barrier_mgr_.erase(barrier);
+
+  SpanEnd(bm.gather_span);
+  SpanCause sc(this, bm.gather_span);  // Releases fan out from the gather.
 
   SimTime cost = 0;
   for (NodeId n = 0; n < env_.nodes; ++n) {
@@ -643,7 +705,10 @@ void ProtocolNode::SendBarrierReleases(BarrierId barrier) {
   }
   // The manager releases itself once the send-side work is charged.
   env_.cpu->RunService(cost, BusyCat::kWriteNotice,
-                       [this] { HandleBarrierRelease({}, vt_); });
+                       [this, cause = bm.gather_span] {
+                         SpanCause sc2(this, cause);
+                         HandleBarrierRelease({}, vt_);
+                       });
 }
 
 void ProtocolNode::HandleBarrierRelease(std::vector<IntervalRecord> intervals,
@@ -652,7 +717,10 @@ void ProtocolNode::HandleBarrierRelease(std::vector<IntervalRecord> intervals,
         CoverageBucket(intervals.size()));  // Sync kind 1: barrier release.
   const SimTime cost = ApplyIntervals(intervals);
   vt_.MergeWith(max_vt);
-  env_.cpu->RunService(cost, BusyCat::kWriteNotice, [this] {
+  const SpanId cause = active_span_;
+  const SimTime t0 = engine()->Now();
+  env_.cpu->RunService(cost, BusyCat::kWriteNotice, [this, cause, t0] {
+    SpanEmit(SpanKind::kWnApply, t0, cause);
     // Everything known at this barrier is now known everywhere: prune the
     // interval log (diffs and per-page state are managed by the subclass).
     known_intervals_.clear();
@@ -674,12 +742,18 @@ void ProtocolNode::OnBarrierReleased() {}
 // Message dispatch.
 
 void ProtocolNode::HandleMessage(Message msg) {
+  // Span tracing: every deferred handler runs under a service span chained
+  // from the message's wire span, covering [arrival, service completion] —
+  // interrupt charge and processor queueing included.
+  const SpanId cause = msg.span;
+  const SimTime t_arrive = engine()->Now();
   switch (msg.type) {
     case MsgType::kLockRequest: {
       auto* p = static_cast<LockRequestPayload*>(msg.payload.get());
       // Lock management always runs on the compute processor (paper §2.4.1).
       Serve(/*on_coproc=*/false, /*interrupt=*/true, costs().lock_handling, BusyCat::kService,
-            [this, lock = p->lock, requester = p->requester, vt = p->vt] {
+            [this, cause, t_arrive, lock = p->lock, requester = p->requester, vt = p->vt] {
+              SpanCause sc(this, SpanEmit(SpanKind::kService, t_arrive, cause, lock));
               HandleLockRequest(lock, requester, vt);
             });
       return;
@@ -687,7 +761,8 @@ void ProtocolNode::HandleMessage(Message msg) {
     case MsgType::kLockForward: {
       auto* p = static_cast<LockForwardPayload*>(msg.payload.get());
       Serve(/*on_coproc=*/false, /*interrupt=*/true, costs().lock_handling, BusyCat::kService,
-            [this, lock = p->lock, requester = p->requester, vt = p->vt] {
+            [this, cause, t_arrive, lock = p->lock, requester = p->requester, vt = p->vt] {
+              SpanCause sc(this, SpanEmit(SpanKind::kService, t_arrive, cause, lock));
               HandleLockForward(lock, requester, vt);
             });
       return;
@@ -696,7 +771,9 @@ void ProtocolNode::HandleMessage(Message msg) {
       auto* p = static_cast<LockGrantPayload*>(msg.payload.get());
       // Solicited reply: the requester is blocked in a receive, no interrupt.
       Serve(/*on_coproc=*/false, /*interrupt=*/false, 0, BusyCat::kService,
-            [this, lock = p->lock, intervals = std::move(p->intervals)]() mutable {
+            [this, cause, t_arrive, lock = p->lock,
+             intervals = std::move(p->intervals)]() mutable {
+              SpanCause sc(this, SpanEmit(SpanKind::kService, t_arrive, cause, lock));
               HandleLockGrant(lock, std::move(intervals));
             });
       return;
@@ -704,8 +781,9 @@ void ProtocolNode::HandleMessage(Message msg) {
     case MsgType::kBarrierEnter: {
       auto* p = static_cast<BarrierEnterPayload*>(msg.payload.get());
       Serve(/*on_coproc=*/false, /*interrupt=*/true, 0, BusyCat::kService,
-            [this, barrier = p->barrier, node = p->node, vt = p->vt,
+            [this, cause, t_arrive, barrier = p->barrier, node = p->node, vt = p->vt,
              intervals = std::move(p->intervals), mem = p->mem_pressure]() mutable {
+              SpanCause sc(this, SpanEmit(SpanKind::kService, t_arrive, cause, barrier));
               HandleBarrierEnter(barrier, node, vt, std::move(intervals), mem);
             });
       return;
@@ -713,7 +791,9 @@ void ProtocolNode::HandleMessage(Message msg) {
     case MsgType::kBarrierRelease: {
       auto* p = static_cast<BarrierReleasePayload*>(msg.payload.get());
       Serve(/*on_coproc=*/false, /*interrupt=*/false, 0, BusyCat::kService,
-            [this, intervals = std::move(p->intervals), max_vt = p->max_vt]() mutable {
+            [this, cause, t_arrive, intervals = std::move(p->intervals),
+             max_vt = p->max_vt]() mutable {
+              SpanCause sc(this, SpanEmit(SpanKind::kService, t_arrive, cause));
               HandleBarrierRelease(std::move(intervals), max_vt);
             });
       return;

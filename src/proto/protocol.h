@@ -133,6 +133,12 @@ class ProtocolNode {
   // Attaches a structured trace sink (System::EnableTracing).
   void SetTraceLog(TraceLog* trace) { env_.trace = trace; }
 
+  // Attaches a causal span tracer (System::EnableSpans). Pure observation:
+  // span recording must not change a single simulated timestamp (pinned by
+  // test_golden_determinism). Null (the default) keeps every recording site
+  // a single-branch no-op.
+  void SetSpanTracer(SpanTracer* spans) { spans_ = spans; }
+
   // Attaches pre-resolved metric instruments (System::EnableMetrics). Null
   // (the default) keeps every recording site a single-branch no-op.
   void SetMetrics(ProtoMetrics* metrics) { metrics_ = metrics; }
@@ -305,9 +311,86 @@ class ProtocolNode {
     }
   }
 
+  // ---- Span tracing (src/tracing/span.h) -----------------------------------
+  //
+  // `active_span_` is the causal context of the code currently running on
+  // this node: Send stamps it on outgoing Messages, and SpanCause scopes it
+  // around synchronous regions. It does NOT survive engine scheduling —
+  // deferred callbacks and coroutine resumptions must capture their cause
+  // when created and re-establish it with SpanCause inside. All helpers are
+  // single-branch no-ops when tracing is off.
+
+  // Opens a span at Now() on this node.
+  SpanId SpanBegin(SpanKind kind, int64_t a0 = 0, int64_t a1 = 0) {
+    return spans_ != nullptr
+               ? spans_->Begin(kind, env_.self, env_.engine->Now(), kNoSpan, a0, a1)
+               : kNoSpan;
+  }
+  // Closes `id` at Now().
+  void SpanEnd(SpanId id) {
+    if (spans_ != nullptr) {
+      spans_->End(id, env_.engine->Now());
+    }
+  }
+  // Records a closed span [t0, Now()] causally linked from `cause`. Interior
+  // (non-root) kinds are recorded only when they have a cause: an interior
+  // span with no in-edge would be an orphan in the DAG, so untraced paths
+  // (e.g. garbage-collection traffic) simply record nothing downstream.
+  SpanId SpanEmit(SpanKind kind, SimTime t0, SpanId cause, int64_t a0 = 0,
+                  int64_t a1 = 0) {
+    if (spans_ == nullptr || (cause == kNoSpan && !SpanKindIsRoot(kind))) {
+      return kNoSpan;
+    }
+    const SpanId id =
+        spans_->Emit(kind, env_.self, t0, env_.engine->Now(), kNoSpan, a0, a1);
+    spans_->AddLink(id, cause);
+    return id;
+  }
+  void SpanLink(SpanId target, SpanId from) {
+    if (spans_ != nullptr) {
+      spans_->AddLink(target, from);
+    }
+  }
+  // Stamps this node's current vector clock on `id` (root spans).
+  void SpanVt(SpanId id) {
+    if (spans_ != nullptr) {
+      spans_->SetVt(id, vt_.raw());
+    }
+  }
+
+  // Establishes `span` as the active causal context for a synchronous region
+  // (restores the previous context on scope exit). Do not hold across
+  // co_await: the restored value would be stale.
+  struct SpanCause {
+    ProtocolNode* node;
+    SpanId saved;
+    SpanCause(ProtocolNode* n, SpanId span) : node(n), saved(n->active_span_) {
+      n->active_span_ = span;
+    }
+    ~SpanCause() { node->active_span_ = saved; }
+    SpanCause(const SpanCause&) = delete;
+    SpanCause& operator=(const SpanCause&) = delete;
+  };
+
+  SpanId active_span() const { return active_span_; }
+  // The fault root currently being resolved on this node's app coroutine
+  // (kNoSpan outside ResolveFault). Survives co_await, unlike active_span_.
+  SpanId cur_fault_span() const { return cur_fault_span_; }
+  // The interval-close span of the interval being closed; valid during
+  // OnIntervalClosed for subclasses to capture into deferred flush lambdas.
+  SpanId interval_close_span() const { return interval_close_span_; }
+  // The manager's gather span for `barrier`, between first arrival and the
+  // releases (kNoSpan otherwise); lets subclass pre-release work (GC) stay
+  // connected to the barrier chain.
+  SpanId BarrierGatherSpan(BarrierId barrier) const;
+
   ProtoStats stats_;
   ProtoMetrics* metrics_ = nullptr;
   CoverageObserver* coverage_ = nullptr;
+  SpanTracer* spans_ = nullptr;
+  SpanId active_span_ = kNoSpan;
+  SpanId cur_fault_span_ = kNoSpan;
+  SpanId interval_close_span_ = kNoSpan;
   VectorClock vt_;
 
   // All interval records known to this node, pruned at barriers once every
@@ -327,6 +410,10 @@ class ProtocolNode {
     NodeId pending_requester = kInvalidNode;
     VectorClock pending_vt;
     std::unique_ptr<Completion> waiting;  // Local acquire waiting for grant.
+    // Span tracing: the parked requester's causal context (the forward's
+    // service span) and the holder's critical-section span.
+    SpanId pending_span = kNoSpan;
+    SpanId hold_span = kNoSpan;
   };
   struct LockManagerState {
     NodeId last_requester = kInvalidNode;
@@ -341,7 +428,10 @@ class ProtocolNode {
 
   void HandleLockRequest(LockId lock, NodeId requester, const VectorClock& rvt);
   void HandleLockForward(LockId lock, NodeId requester, const VectorClock& rvt);
-  void GrantLock(LockId lock, NodeId requester, const VectorClock& rvt);
+  // `cause` is the requester's causal context (span tracing): the forward's
+  // service span for an immediate grant, or the parked pending_span when the
+  // grant happens at release time. kNoSpan when tracing is off.
+  void GrantLock(LockId lock, NodeId requester, const VectorClock& rvt, SpanId cause);
   void HandleLockGrant(LockId lock, std::vector<IntervalRecord> intervals);
 
   // ---- Barrier algorithm ---------------------------------------------------
@@ -354,6 +444,8 @@ class ProtocolNode {
     bool launched = false;  // BarrierAllArrived already triggered.
     std::vector<VectorClock> arrival_vt;  // Indexed by node.
     std::vector<bool> present;
+    // Span tracing: first arrival -> releases, linked from every arrival.
+    SpanId gather_span = kNoSpan;
   };
 
   void HandleBarrierEnter(BarrierId barrier, NodeId node, const VectorClock& nvt,

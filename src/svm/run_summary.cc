@@ -7,6 +7,7 @@
 #include "src/metrics/metrics.h"
 #include "src/metrics/run_summary_schema.h"
 #include "src/svm/system.h"
+#include "src/tracing/span.h"
 
 namespace hlrc {
 
@@ -260,6 +261,9 @@ std::string RunSummaryJson(const System& sys, const RunSummaryMeta& meta) {
   WriteHistograms(w, metrics->registry());
   WriteTimeseries(w, metrics->sampler());
   WriteHotPages(w, metrics->heat());
+  if (sys.spans() != nullptr) {
+    WriteSpansJson(&w, *sys.spans());
+  }
   w.EndObject();
   return w.str();
 }

@@ -255,6 +255,17 @@ Metrics* System::EnableMetrics(SimTime sample_interval) {
   return metrics_.get();
 }
 
+SpanTracer* System::EnableSpans(size_t capacity) {
+  HLRC_CHECK_MSG(!ran_, "EnableSpans must precede Run");
+  HLRC_CHECK_MSG(spans_ == nullptr, "EnableSpans may only be called once");
+  spans_ = std::make_unique<SpanTracer>(capacity);
+  for (Node& node : nodes_) {
+    node.proto->SetSpanTracer(spans_.get());
+  }
+  network_->SetSpanTracer(spans_.get());
+  return spans_.get();
+}
+
 void System::Run(const Program& program) {
   HLRC_CHECK_MSG(!ran_, "System::Run may only be called once");
   ran_ = true;

@@ -170,6 +170,16 @@ class System {
   Metrics* metrics() { return metrics_.get(); }
   const Metrics* metrics() const { return metrics_.get(); }
 
+  // Enables causal span tracing (src/tracing): per-operation cross-node
+  // lifecycles — page faults, lock-acquire chains, barrier epochs, retransmit
+  // sub-spans — recorded as a span DAG for critical-path attribution
+  // (tools/svmtrace). Must be called before Run. Pure observation: enabling
+  // spans does not change a single simulated timestamp (tested by
+  // test_golden_determinism).
+  SpanTracer* EnableSpans(size_t capacity = 1 << 16);
+  SpanTracer* spans() { return spans_.get(); }
+  const SpanTracer* spans() const { return spans_.get(); }
+
   // Registers an observer notified of every access made through
   // NodeContext::LoadWord / StoreWord (consistency checking; src/check).
   // Pass nullptr to remove. The observer must outlive Run.
@@ -217,6 +227,7 @@ class System {
   SimConfig config_;
   std::unique_ptr<TraceLog> trace_;
   std::unique_ptr<Metrics> metrics_;
+  std::unique_ptr<SpanTracer> spans_;
   std::unique_ptr<Engine> engine_;
   std::unique_ptr<FaultInjector> fault_;  // Outlives network_ (installed as its hook).
   std::unique_ptr<Network> network_;

@@ -1,0 +1,192 @@
+#include "src/tracing/critpath.h"
+
+#include <algorithm>
+#include <deque>
+#include <unordered_map>
+
+namespace hlrc {
+
+const char* CritCatName(CritCat c) {
+  switch (c) {
+    case CritCat::kWire:
+      return "wire";
+    case CritCat::kQueueing:
+      return "queueing";
+    case CritCat::kRetransmit:
+      return "retransmit";
+    case CritCat::kHomeService:
+      return "home service";
+    case CritCat::kDiffCreate:
+      return "diff create";
+    case CritCat::kDiffApply:
+      return "diff apply";
+    case CritCat::kBookkeeping:
+      return "protocol bookkeeping";
+    case CritCat::kCompute:
+      return "compute";
+    case CritCat::kCount:
+      break;
+  }
+  return "?";
+}
+
+CritCat CategoryOf(SpanKind k) {
+  switch (k) {
+    case SpanKind::kQueue:
+      return CritCat::kQueueing;
+    case SpanKind::kWire:
+      return CritCat::kWire;
+    case SpanKind::kRetransmit:
+      return CritCat::kRetransmit;
+    case SpanKind::kService:
+    case SpanKind::kHomeWait:
+      return CritCat::kHomeService;
+    case SpanKind::kDiffCreate:
+      return CritCat::kDiffCreate;
+    case SpanKind::kDiffApply:
+      return CritCat::kDiffApply;
+    case SpanKind::kLockHold:
+    case SpanKind::kBarrierGather:
+      return CritCat::kCompute;
+    default:
+      return CritCat::kBookkeeping;
+  }
+}
+
+int RootKindIndex(SpanKind k) {
+  switch (k) {
+    case SpanKind::kFault:
+      return 0;
+    case SpanKind::kLock:
+      return 1;
+    case SpanKind::kBarrier:
+      return 2;
+    default:
+      return -1;
+  }
+}
+
+CritPathSummary AttributeCriticalPaths(const std::vector<Span>& spans) {
+  CritPathSummary out;
+
+  std::unordered_map<SpanId, size_t> index;
+  index.reserve(spans.size());
+  for (size_t i = 0; i < spans.size(); ++i) {
+    index.emplace(spans[i].id, i);
+  }
+  std::vector<std::vector<size_t>> adj(spans.size());
+  for (size_t i = 0; i < spans.size(); ++i) {
+    const Span& s = spans[i];
+    if (s.parent != kNoSpan) {
+      adj[index.at(s.parent)].push_back(i);
+    }
+    for (const SpanId l : s.links) {
+      adj[index.at(l)].push_back(i);
+    }
+  }
+
+  std::vector<int> depth(spans.size(), -1);
+  for (size_t r = 0; r < spans.size(); ++r) {
+    const Span& root = spans[r];
+    if (RootKindIndex(root.kind) < 0) {
+      continue;
+    }
+
+    RootAttribution ra;
+    ra.id = root.id;
+    ra.kind = root.kind;
+    ra.node = root.node;
+    ra.t0 = root.t0;
+    ra.t1 = root.t1;
+    ra.a0 = root.a0;
+
+    // BFS over causal descendants, clipping each to the root's window. Depth
+    // is the first-visit hop count: deeper spans refine their ancestors'
+    // attribution (a wire span inside a fault beats the fault itself).
+    std::fill(depth.begin(), depth.end(), -1);
+    depth[r] = 0;
+    std::deque<size_t> q{r};
+    while (!q.empty()) {
+      const size_t n = q.front();
+      q.pop_front();
+      for (const size_t c : adj[n]) {
+        if (depth[c] >= 0 || RootKindIndex(spans[c].kind) >= 0) {
+          continue;  // other roots (and their subtrees) attribute themselves
+        }
+        depth[c] = depth[n] + 1;
+        q.push_back(c);
+        const Span& s = spans[c];
+        CritStep step;
+        step.id = s.id;
+        step.kind = s.kind;
+        step.node = s.node;
+        step.t0 = std::max(s.t0, root.t0);
+        step.t1 = std::min(s.t1, root.t1);
+        step.depth = depth[c];
+        if (step.t0 < step.t1) {
+          ra.steps.push_back(step);
+        }
+      }
+    }
+    std::sort(ra.steps.begin(), ra.steps.end(),
+              [](const CritStep& a, const CritStep& b) {
+                if (a.t0 != b.t0) return a.t0 < b.t0;
+                if (a.depth != b.depth) return a.depth < b.depth;
+                return a.id < b.id;
+              });
+
+    // Segment sweep: between consecutive boundaries the deepest active
+    // descendant's category wins (ties: later start, then larger id); gaps
+    // with no active descendant are protocol bookkeeping. Segments partition
+    // [t0, t1], so categories sum exactly to the root's duration.
+    std::vector<SimTime> cuts;
+    cuts.reserve(2 * ra.steps.size() + 2);
+    cuts.push_back(root.t0);
+    cuts.push_back(root.t1);
+    for (const CritStep& s : ra.steps) {
+      cuts.push_back(s.t0);
+      cuts.push_back(s.t1);
+    }
+    std::sort(cuts.begin(), cuts.end());
+    cuts.erase(std::unique(cuts.begin(), cuts.end()), cuts.end());
+    for (size_t i = 0; i + 1 < cuts.size(); ++i) {
+      const SimTime lo = cuts[i];
+      const SimTime hi = cuts[i + 1];
+      const CritStep* best = nullptr;
+      for (const CritStep& s : ra.steps) {
+        if (s.t0 > lo) {
+          break;  // steps are t0-sorted; none further can cover lo
+        }
+        if (s.t1 < hi) {
+          continue;
+        }
+        if (best == nullptr || s.depth > best->depth ||
+            (s.depth == best->depth &&
+             (s.t0 > best->t0 || (s.t0 == best->t0 && s.id > best->id)))) {
+          best = &s;
+        }
+      }
+      const CritCat cat =
+          best != nullptr ? CategoryOf(best->kind) : CritCat::kBookkeeping;
+      ra.by_cat[static_cast<size_t>(cat)] += hi - lo;
+    }
+
+    const int ki = RootKindIndex(root.kind);
+    for (size_t c = 0; c < kCritCatCount; ++c) {
+      out.total[c] += ra.by_cat[c];
+      out.by_kind[ki][c] += ra.by_cat[c];
+    }
+    out.total_wait += root.t1 - root.t0;
+    if (root.kind == SpanKind::kFault) {
+      CatTimes& page = out.by_page[root.a0];
+      for (size_t c = 0; c < kCritCatCount; ++c) {
+        page[c] += ra.by_cat[c];
+      }
+      out.page_wait[root.a0] += root.t1 - root.t0;
+    }
+    out.roots.push_back(std::move(ra));
+  }
+  return out;
+}
+
+}  // namespace hlrc

@@ -1,0 +1,126 @@
+#include "src/tracing/span_check.h"
+
+#include <unordered_map>
+
+namespace hlrc {
+namespace {
+
+std::string Describe(const Span& s) {
+  return std::string(SpanKindName(s.kind)) + " span " + std::to_string(s.id) +
+         " (node " + std::to_string(s.node) + ")";
+}
+
+}  // namespace
+
+bool CheckSpanDag(const std::vector<Span>& spans, std::string* err) {
+  std::unordered_map<SpanId, size_t> index;
+  index.reserve(spans.size());
+  for (size_t i = 0; i < spans.size(); ++i) {
+    const Span& s = spans[i];
+    if (s.id < 0) {
+      *err = "negative span id " + std::to_string(s.id);
+      return false;
+    }
+    if (!index.emplace(s.id, i).second) {
+      *err = "duplicate span id " + std::to_string(s.id);
+      return false;
+    }
+    if (s.t0 > s.t1) {
+      *err = Describe(s) + " has t0 > t1";
+      return false;
+    }
+    if (s.kind == SpanKind::kCount) {
+      *err = "span " + std::to_string(s.id) + " has invalid kind";
+      return false;
+    }
+  }
+
+  // Forward adjacency: parent -> child and link-source -> target.
+  std::vector<std::vector<size_t>> out(spans.size());
+  std::vector<bool> has_in(spans.size(), false);
+  for (size_t i = 0; i < spans.size(); ++i) {
+    const Span& s = spans[i];
+    if (s.parent != kNoSpan) {
+      const auto it = index.find(s.parent);
+      if (it == index.end()) {
+        *err = Describe(s) + " references missing parent " +
+               std::to_string(s.parent);
+        return false;
+      }
+      const Span& p = spans[it->second];
+      if (p.t0 > s.t0 || s.t1 > p.t1) {
+        *err = "parent " + Describe(p) + " interval [" + std::to_string(p.t0) +
+               "," + std::to_string(p.t1) + "] does not contain child " +
+               Describe(s) + " [" + std::to_string(s.t0) + "," +
+               std::to_string(s.t1) + "]";
+        return false;
+      }
+      out[it->second].push_back(i);
+      has_in[i] = true;
+    }
+    for (const SpanId l : s.links) {
+      const auto it = index.find(l);
+      if (it == index.end()) {
+        *err = Describe(s) + " references missing link source " +
+               std::to_string(l);
+        return false;
+      }
+      out[it->second].push_back(i);
+      has_in[i] = true;
+    }
+  }
+
+  // Roots must be root kinds; every span must be reachable from a root; the
+  // whole graph must be acyclic. One iterative DFS with tricolor marking
+  // covers both: 0 = white, 1 = on stack, 2 = done.
+  std::vector<uint8_t> color(spans.size(), 0);
+  std::vector<size_t> stack;
+  size_t reached = 0;
+  for (size_t r = 0; r < spans.size(); ++r) {
+    if (has_in[r]) {
+      continue;
+    }
+    if (!SpanKindIsRoot(spans[r].kind)) {
+      *err = Describe(spans[r]) +
+             " is an orphan: interior kind with no parent and no causal link";
+      return false;
+    }
+    if (color[r] != 0) {
+      continue;
+    }
+    // Iterative DFS; a frame is (node, next-child-index) packed in two stacks.
+    std::vector<std::pair<size_t, size_t>> frames;
+    frames.emplace_back(r, 0);
+    color[r] = 1;
+    ++reached;
+    while (!frames.empty()) {
+      auto& [n, next] = frames.back();
+      if (next >= out[n].size()) {
+        color[n] = 2;
+        frames.pop_back();
+        continue;
+      }
+      const size_t c = out[n][next++];
+      if (color[c] == 1) {
+        *err = "cycle through " + Describe(spans[c]);
+        return false;
+      }
+      if (color[c] == 0) {
+        color[c] = 1;
+        ++reached;
+        frames.emplace_back(c, 0);
+      }
+    }
+  }
+  if (reached != spans.size()) {
+    for (size_t i = 0; i < spans.size(); ++i) {
+      if (color[i] == 0) {
+        *err = Describe(spans[i]) + " is not reachable from any root";
+        return false;
+      }
+    }
+  }
+  return true;
+}
+
+}  // namespace hlrc

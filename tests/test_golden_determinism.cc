@@ -61,6 +61,25 @@ std::string SummaryLineWithMetrics(const std::string& app_name, ProtocolKind kin
   return FormatSummary(app_name, kind, sys.report());
 }
 
+// Same run with metrics AND the span tracer enabled: span recording is pure
+// observation (no simulated time, no messages, no allocation visible to the
+// protocols), so the summary line has to be bit-identical to SummaryLine's.
+std::string SummaryLineWithSpans(const std::string& app_name, ProtocolKind kind) {
+  std::unique_ptr<App> app = MakeApp(app_name, AppScale::kTiny);
+  SimConfig cfg;
+  cfg.nodes = kNodes;
+  cfg.protocol.kind = kind;
+  System sys(cfg);
+  sys.EnableMetrics(Micros(100));
+  sys.EnableSpans();
+  app->Setup(sys);
+  sys.Run(app->Program());
+  std::string why;
+  EXPECT_TRUE(app->Verify(sys, &why)) << app_name << ": " << why;
+  EXPECT_FALSE(sys.spans()->spans().empty()) << "tracer attached but recorded nothing";
+  return FormatSummary(app_name, kind, sys.report());
+}
+
 std::string FormatSummary(const std::string& app_name, ProtocolKind kind,
                           const RunReport& report) {
   const NodeReport t = report.Totals();
@@ -99,6 +118,14 @@ TEST(GoldenDeterminism, RepeatedRunsAreBitIdentical) {
 TEST(GoldenDeterminism, MetricsCollectionDoesNotChangeTheRun) {
   for (ProtocolKind kind : {ProtocolKind::kLrc, ProtocolKind::kHlrc}) {
     EXPECT_EQ(SummaryLine("sor", kind), SummaryLineWithMetrics("sor", kind))
+        << ProtocolName(kind);
+  }
+}
+
+TEST(GoldenDeterminism, SpanTracingDoesNotChangeTheRun) {
+  for (ProtocolKind kind : {ProtocolKind::kLrc, ProtocolKind::kHlrc, ProtocolKind::kErc,
+                            ProtocolKind::kAurc}) {
+    EXPECT_EQ(SummaryLine("sor", kind), SummaryLineWithSpans("sor", kind))
         << ProtocolName(kind);
   }
 }

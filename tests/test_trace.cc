@@ -8,6 +8,7 @@
 
 #include "src/metrics/json.h"
 #include "src/svm/system.h"
+#include "src/tracing/span.h"
 #include "tests/test_util.h"
 
 namespace hlrc {
@@ -169,6 +170,56 @@ TEST(TraceLog, ExtraEventsIntoEmptyTraceStillParse) {
   std::remove(path.c_str());
   ASSERT_EQ(doc.arr.size(), 1u);
   EXPECT_EQ(doc.arr[0].GetString("name"), "only");
+}
+
+TEST(TraceIntegration, SpanFlowEventSpliceStrictParses) {
+  // The causal-span slices and flow arrows svmsim splices into the execution
+  // trace (ChromeSpanEvents) must survive a strict parse of the whole file:
+  // complete slices, paired flow begin/end events, no trailing commas.
+  SimConfig cfg = testing::SmallConfig(ProtocolKind::kHlrc, 4);
+  System sys(cfg);
+  TraceLog* trace = sys.EnableTracing();
+  sys.EnableSpans();
+  const GlobalAddr addr = sys.space().AllocPageAligned(8 * 1024);
+  sys.Run([&](NodeContext& ctx) -> Task<void> {
+    co_await ctx.Lock(1);
+    co_await ctx.Write(addr, 1024);
+    *ctx.Ptr<int64_t>(addr) += 1;
+    co_await ctx.Unlock(1);
+    co_await ctx.Barrier(0);
+    co_await ctx.Read(addr, 8);
+  });
+
+  const std::string extra = ChromeSpanEvents(*sys.spans());
+  ASSERT_FALSE(extra.empty());
+  const std::string path = ::testing::TempDir() + "/hlrc_trace_spans.json";
+  trace->DumpChromeJson(path, extra);
+  JsonValue doc;
+  std::string err;
+  ASSERT_TRUE(ParseJson(ReadWholeFile(path), &doc, &err)) << err;
+  std::remove(path.c_str());
+  ASSERT_TRUE(doc.IsArray());
+
+  int64_t slices = 0, flow_starts = 0, flow_ends = 0;
+  for (const JsonValue& ev : doc.arr) {
+    ASSERT_TRUE(ev.IsObject());
+    const std::string ph = ev.GetString("ph");
+    ASSERT_FALSE(ph.empty());
+    EXPECT_FALSE(ev.GetString("name").empty());
+    if (ph == "X") {
+      ++slices;
+      const JsonValue* dur = ev.Find("dur");
+      ASSERT_NE(dur, nullptr);
+      EXPECT_GE(dur->AsDouble(), 0.0);
+    } else if (ph == "s") {
+      ++flow_starts;
+    } else if (ph == "f") {
+      ++flow_ends;
+    }
+  }
+  EXPECT_GT(slices, 0) << "no span slices spliced";
+  EXPECT_GT(flow_starts, 0) << "no causal flow arrows spliced";
+  EXPECT_EQ(flow_starts, flow_ends) << "unpaired flow events";
 }
 
 TEST(TraceIntegration, ChromeJsonDumpIsWellFormedEnough) {

@@ -31,7 +31,9 @@
 //   --fault-drop=P        compose with fault injection: drop probability
 //                         (enables the reliable channel automatically)
 //   --stop-on-failure     stop a sweep at its first failing seed
-//   --replay-seed=N       run exactly one seed and print its decision trace
+//   --replay-seed=N       run exactly one seed and print its chaos decision
+//                         trace (scheduler decisions — neither an execution
+//                         trace nor a workload trace)
 //   --limit=N             decision limit for --replay-seed (default: unlimited)
 //   --list                print litmus and protocol names
 //

@@ -32,7 +32,8 @@ const ToolInfo kTool = {
     "pages and traffic totals. Files are schema-validated on load.",
     "  --top=N               widen the hot-page table (default 20)\n"
     "  --check               validate only (exit 0/1), no report\n"
-    "  --diff                compare two runs with percent deltas\n",
+    "  --diff                compare two runs with percent deltas; exits 2\n"
+    "                        when either input fails schema validation\n",
     "RUN.json [flags] | --check RUN.json | --diff A.json B.json",
 };
 
@@ -56,22 +57,24 @@ bool ReadFile(const std::string& path, std::string* out, std::string* err) {
   return ok;
 }
 
-// Loads, parses, and schema-validates one run summary. Exits on failure so
-// every code path downstream can assume a well-formed document.
-JsonValue LoadSummary(const std::string& path) {
+// Loads, parses, and schema-validates one run summary. Exits with
+// `fail_exit` on failure so every code path downstream can assume a
+// well-formed document. --diff passes 2: an invalid input there is a bad
+// invocation, not a run-quality finding.
+JsonValue LoadSummary(const std::string& path, int fail_exit = 1) {
   std::string text, err;
   if (!ReadFile(path, &text, &err)) {
     std::fprintf(stderr, "svmprof: %s\n", err.c_str());
-    std::exit(1);
+    std::exit(fail_exit);
   }
   JsonValue v;
   if (!ParseJson(text, &v, &err)) {
     std::fprintf(stderr, "svmprof: %s: JSON parse error: %s\n", path.c_str(), err.c_str());
-    std::exit(1);
+    std::exit(fail_exit);
   }
   if (!ValidateRunSummary(v, &err)) {
     std::fprintf(stderr, "svmprof: %s: schema violation: %s\n", path.c_str(), err.c_str());
-    std::exit(1);
+    std::exit(fail_exit);
   }
   return v;
 }
@@ -239,8 +242,8 @@ std::string Delta(double a, double b) {
 }
 
 int Diff(const std::string& path_a, const std::string& path_b) {
-  const JsonValue a = LoadSummary(path_a);
-  const JsonValue b = LoadSummary(path_b);
+  const JsonValue a = LoadSummary(path_a, /*fail_exit=*/2);
+  const JsonValue b = LoadSummary(path_b, /*fail_exit=*/2);
 
   const JsonValue* ca = a.Find("config");
   const JsonValue* cb = b.Find("config");

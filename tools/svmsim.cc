@@ -18,7 +18,9 @@
 //   --diff-policy=P       eager | lazy (homeless protocols)
 //   --gc-threshold=BYTES  homeless GC trigger (default 4 MiB)
 //   --migrate-homes       enable dynamic home migration (home-based)
-//   --trace=FILE.json     dump a chrome://tracing file
+//   --trace=FILE.json     write a chrome://tracing execution trace (protocol
+//                         event timeline; distinct from a --record-trace
+//                         workload trace)
 //   --per-node            print the per-node breakdown table
 //   --no-verify           skip result verification
 //   --verbose             print a host wall-clock summary after the report
@@ -34,8 +36,9 @@
 //
 // Observability (docs/OBSERVABILITY.md):
 //   --metrics-out=FILE    write a versioned JSON run summary (latency
-//                         histograms, time-series samples, hot pages);
-//                         also adds Perfetto counter tracks to --trace
+//                         histograms, time-series samples, hot pages, causal
+//                         spans); also adds Perfetto counter tracks and span
+//                         flow events to --trace
 //   --sample-interval=US  metrics sampler period in simulated microseconds
 //                         (default 1000; implies metrics collection)
 //
@@ -70,6 +73,7 @@
 #include "src/metrics/sampler.h"
 #include "src/svm/run_summary.h"
 #include "src/svm/system.h"
+#include "src/tracing/span.h"
 #include "src/wkld/recorder.h"
 #include "src/wkld/replay.h"
 #include "src/wkld/trace_file.h"
@@ -121,14 +125,17 @@ const ToolInfo kTool = {
     "  --diff-policy=P       eager | lazy (homeless protocols)\n"
     "  --gc-threshold=BYTES  homeless GC trigger (default 4 MiB)\n"
     "  --migrate-homes       enable dynamic home migration (home-based)\n"
-    "  --trace=FILE.json     dump a chrome://tracing file\n"
+    "  --trace=FILE.json     write a chrome://tracing execution trace (event\n"
+    "                        timeline; distinct from a workload trace)\n"
     "  --per-node            print the per-node breakdown table\n"
     "  --no-verify           skip result verification\n"
     "  --verbose             print a host wall-clock summary\n"
     "  --seed=N              root seed (app inputs + fault injector)\n"
-    "  --record-trace=FILE   record the workload into a trace file\n"
-    "  --replay-trace=FILE   replay a recorded trace instead of an app\n"
-    "  --metrics-out=FILE    write a versioned JSON run summary\n"
+    "  --record-trace=FILE   record the run's workload trace (shared accesses\n"
+    "                        and sync; replayable input, not a timeline)\n"
+    "  --replay-trace=FILE   replay a recorded workload trace instead of an app\n"
+    "  --metrics-out=FILE    write a versioned JSON run summary (includes the\n"
+    "                        causal-span section read by svmtrace)\n"
     "  --sample-interval=US  metrics sampler period (default 1000)\n"
     "  --coverage            collect protocol-state coverage; printed after\n"
     "                        the report and exported in --metrics-out\n"
@@ -339,10 +346,17 @@ int Main(int argc, char** argv) {
   System sys(cfg);
   TraceLog* trace = o.trace_path.empty() ? nullptr : sys.EnableTracing();
   // Metrics ride along whenever a run summary is requested, and also when a
-  // trace is: the Perfetto counter tracks come from the sampler.
+  // trace is: the Perfetto counter tracks come from the sampler. Causal spans
+  // ride along too — they feed the run summary's "spans" section (svmtrace)
+  // and the execution trace's flow events.
   Metrics* metrics = (o.metrics_path.empty() && o.trace_path.empty())
                          ? nullptr
                          : sys.EnableMetrics(o.sample_interval);
+  if (metrics != nullptr) {
+    // 256K spans covers the paper apps at 8 nodes; beyond that the tracer
+    // drops monotonically (newest first), which keeps the DAG closed.
+    sys.EnableSpans(1 << 18);
+  }
   // Workload recording attaches before Setup so the allocation table is
   // captured. Pure observation: the recorded run's timing is unchanged.
   // Coverage observation, like metrics, attaches before the run and never
@@ -455,9 +469,21 @@ int Main(int argc, char** argv) {
   }
 
   if (trace != nullptr) {
-    trace->DumpChromeJson(o.trace_path, ChromeCounterEvents(metrics->sampler()));
-    std::printf("\ntrace written to %s (%lld events, %lld dropped)\n", o.trace_path.c_str(),
-                static_cast<long long>(trace->recorded()),
+    // Splice the sampler's counter tracks and the span slices/flow arrows
+    // into the execution trace.
+    std::string extra = ChromeCounterEvents(metrics->sampler());
+    if (sys.spans() != nullptr) {
+      const std::string span_events = ChromeSpanEvents(*sys.spans());
+      if (!span_events.empty()) {
+        if (!extra.empty()) {
+          extra += ",\n";
+        }
+        extra += span_events;
+      }
+    }
+    trace->DumpChromeJson(o.trace_path, extra);
+    std::printf("\nexecution trace written to %s (%lld events, %lld dropped)\n",
+                o.trace_path.c_str(), static_cast<long long>(trace->recorded()),
                 static_cast<long long>(trace->dropped()));
   }
   if (coverage != nullptr) {
@@ -484,7 +510,8 @@ int Main(int argc, char** argv) {
       std::fprintf(stderr, "metrics: %s\n", err.c_str());
       return 1;
     }
-    std::printf("run summary written to %s (inspect with svmprof)\n", o.metrics_path.c_str());
+    std::printf("run summary written to %s (inspect with svmprof / svmtrace)\n",
+                o.metrics_path.c_str());
   }
   if (o.verbose) {
     const int64_t events = sys.engine().events_processed();

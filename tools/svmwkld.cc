@@ -2,12 +2,13 @@
 //
 //   svmwkld record --app=sor --out=sor.wkld [--protocol=P] [--nodes=N]
 //                  [--scale=S] [--page-size=B] [--seed=N]
-//       Run an application with the trace recorder attached and write the
-//       captured workload. The run itself is unchanged by recording.
+//       Run an application with the workload-trace recorder attached and
+//       write the captured workload. The run itself is unchanged by
+//       recording.
 //
 //   svmwkld replay --in=FILE [--protocol=P] [--nodes=N] [--page-size=B]
-//       Re-execute a captured trace (any protocol; topology defaults to the
-//       trace header) and print the run's vital signs.
+//       Re-execute a captured workload trace (any protocol; topology
+//       defaults to the trace header) and print the run's vital signs.
 //
 //   svmwkld gen --pattern=NAME --out=FILE [--nodes=N] [--page-size=B]
 //               [--pages-per-node=N] [--iterations=N] [--ops=N]
@@ -45,8 +46,10 @@ using wkld::Record;
 const ToolInfo kTool = {
     "svmwkld",
     "Workload trace toolbox: record an application's shared-access/sync\n"
-    "workload, replay a captured trace under any protocol, generate seeded\n"
-    "synthetic workloads, and inspect trace files (docs/WORKLOADS.md).",
+    "workload, replay a captured workload trace under any protocol, generate\n"
+    "seeded synthetic workloads, and inspect workload trace files\n"
+    "(docs/WORKLOADS.md). A workload trace is replayable input, distinct\n"
+    "from the execution trace timeline svmsim --trace writes.",
     "  record --app=NAME --out=FILE [--protocol=P] [--nodes=N]\n"
     "         [--scale=S] [--page-size=B] [--seed=N]\n"
     "  replay --in=FILE [--protocol=P] [--nodes=N] [--page-size=B]\n"
