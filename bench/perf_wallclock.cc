@@ -11,20 +11,26 @@
 //                     and fully-dirty pages, against CreateDiffReference
 //                     (the original word-at-a-time scan, kept as the oracle);
 //   * diff_apply    — pages/sec through ApplyDiff;
+//   * pack_intervals / apply_intervals
+//                   — packs/sec and batches/sec through the shared interval
+//                     log, against an in-binary replica of the original
+//                     std::map<IntervalKey, IntervalRecord> store that
+//                     deep-copied every record into every payload;
 //   * end_to_end    — wall seconds and events/sec for whole svmsim-style
 //                     application runs.
 //
 //   perf_wallclock [--quick] [--json=FILE]
 //
 // --quick shrinks the iteration counts for CI smoke runs; --json writes the
-// results in the hlrc-bench v1 schema (see BENCH_PR4.json at the repo root
-// for the checked-in reference numbers).
+// results in the hlrc-bench v1 schema (see BENCH_PR4.json and BENCH_PR9.json
+// at the repo root for the checked-in reference numbers).
 #include <algorithm>
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <functional>
+#include <map>
 #include <queue>
 #include <string>
 #include <unordered_map>
@@ -35,6 +41,7 @@
 #include "src/common/check.h"
 #include "src/common/rng.h"
 #include "src/mem/diff.h"
+#include "src/proto/interval_log.h"
 #include "src/sim/engine.h"
 #include "src/svm/system.h"
 
@@ -419,6 +426,278 @@ void BenchDiff(bool quick, BenchJson* json) {
 }
 
 // ---------------------------------------------------------------------------
+// Interval metadata-plane benchmark (docs/PERFORMANCE.md, metadata fast
+// path).
+//
+// BaselineIntervalStore replicates the pre-log representation exactly: one
+// std::map<IntervalKey, IntervalRecord> per node, with PackFor walking the
+// whole map and deep-copying every unseen record into the outgoing payload
+// (what lock grants and barrier releases used to carry) and ApplyBatch
+// deep-copying every received record back into the map. The shipped
+// IntervalLog packs shared handles off per-writer sorted tails instead, so an
+// N-receiver fan-out shares one record N ways.
+
+struct IntervalWorkload {
+  int writers = 0;
+  std::vector<IntervalRecord> records;    // Writer-major, id-ascending.
+  IntervalBatch handles;                  // Sealed shared twins of `records`.
+  std::vector<VectorClock> receiver_vts;  // Lagged receivers to pack for.
+};
+
+// A barrier-epoch's worth of metadata on a mid-size machine: every writer has
+// closed a couple dozen intervals of 6–16 write notices, and every other node
+// is a receiver that has seen a random prefix of each writer's log (the state
+// lock hand-offs leave behind).
+IntervalWorkload MakeIntervalWorkload(uint64_t seed) {
+  constexpr int kWriters = 32;
+  constexpr uint32_t kIntervalsPerWriter = 24;
+  IntervalWorkload w;
+  w.writers = kWriters;
+  Rng rng(seed);
+  for (NodeId writer = 0; writer < kWriters; ++writer) {
+    VectorClock vt(kWriters);
+    for (uint32_t id = 1; id <= kIntervalsPerWriter; ++id) {
+      IntervalRecord rec;
+      rec.writer = writer;
+      rec.id = id;
+      vt.Set(writer, id);
+      // Observed progress of other writers advances loosely, as it does under
+      // lock hand-offs.
+      for (NodeId other = 0; other < kWriters; ++other) {
+        if (other != writer && (rng.NextU64() & 3) == 0 &&
+            vt.Get(other) < kIntervalsPerWriter) {
+          vt.Set(other, vt.Get(other) + 1);
+        }
+      }
+      rec.vt = vt;
+      const int64_t pages = rng.NextInt(6, 16);
+      for (int64_t i = 0; i < pages; ++i) {
+        rec.pages.push_back(static_cast<PageId>(rng.NextBounded(4096)));
+      }
+      rec.Seal();
+      w.records.push_back(rec);
+      w.handles.push_back(std::make_shared<IntervalRecord>(std::move(rec)));
+    }
+  }
+  for (int r = 1; r < kWriters; ++r) {
+    VectorClock vt(kWriters);
+    for (NodeId n = 0; n < kWriters; ++n) {
+      vt.Set(n, static_cast<uint32_t>(rng.NextBounded(kIntervalsPerWriter + 1)));
+    }
+    w.receiver_vts.push_back(vt);
+  }
+  return w;
+}
+
+class BaselineIntervalStore {
+ public:
+  explicit BaselineIntervalStore(int nodes) : vt_(nodes) {}
+
+  // Mirrors the old HlrcProtocol::ApplyIntervals bookkeeping.
+  void ApplyBatch(const std::vector<IntervalRecord>& recs) {
+    for (const IntervalRecord& rec : recs) {
+      if (rec.id <= vt_.Get(rec.writer)) {
+        continue;
+      }
+      intervals_[IntervalKey{rec.writer, rec.id}] = rec;  // Deep copy.
+      vt_.Set(rec.writer, rec.id);
+    }
+  }
+
+  // Mirrors the old HlrcProtocol::PackIntervalsFor: full-map walk, one deep
+  // copy per unseen record.
+  std::vector<IntervalRecord> PackFor(const VectorClock& vt) const {
+    std::vector<IntervalRecord> out;
+    for (const auto& [key, rec] : intervals_) {
+      if (key.id > vt.Get(key.writer)) {
+        out.push_back(rec);
+      }
+    }
+    return out;
+  }
+
+  size_t size() const { return intervals_.size(); }
+
+ private:
+  VectorClock vt_;
+  std::map<IntervalKey, IntervalRecord> intervals_;
+};
+
+class LogIntervalStore {
+ public:
+  explicit LogIntervalStore(int nodes) : vt_(nodes), log_(nodes) {}
+
+  void ApplyBatch(const IntervalBatch& recs) {
+    for (const IntervalPtr& rec : recs) {
+      if (rec->id <= vt_.Get(rec->writer)) {
+        continue;
+      }
+      log_.Append(rec);  // Shares the handle; no record copy.
+      vt_.Set(rec->writer, rec->id);
+    }
+  }
+
+  const IntervalLog& log() const { return log_; }
+
+  size_t size() const { return static_cast<size_t>(log_.size()); }
+
+ private:
+  VectorClock vt_;
+  IntervalLog log_;
+};
+
+void BenchIntervals(bool quick, BenchJson* json) {
+  const IntervalWorkload w = MakeIntervalWorkload(0x1f7a'33d1);
+
+  BaselineIntervalStore base(w.writers);
+  base.ApplyBatch(w.records);
+  LogIntervalStore opt(w.writers);
+  opt.ApplyBatch(w.handles);
+  HLRC_CHECK(base.size() == opt.size());
+
+  // One untimed correctness pass: both representations must pack the same
+  // interval sequence with the same encoded bytes for every receiver.
+  int64_t check_bytes = 0;
+  for (const VectorClock& vt : w.receiver_vts) {
+    const std::vector<IntervalRecord> b = base.PackFor(vt);
+    const IntervalBatch o = opt.log().PackFor(vt);
+    HLRC_CHECK_MSG(b.size() == o.size(), "pack diverged: baseline %zu, log %zu", b.size(),
+                   o.size());
+    for (size_t i = 0; i < b.size(); ++i) {
+      HLRC_CHECK(b[i].writer == o[i]->writer && b[i].id == o[i]->id);
+      HLRC_CHECK(b[i].EncodedSize(true) == o[i]->EncodedSize(true));
+      check_bytes += o[i]->EncodedSize(true);
+    }
+  }
+
+  // pack_intervals: the barrier-release fan-out. Each iteration packs the
+  // full log once per receiver and charges the encoded payload bytes, exactly
+  // what SendBarrierReleases does per epoch.
+  {
+    const int64_t iters = quick ? 80 : 800;
+    const int64_t packs = iters * static_cast<int64_t>(w.receiver_vts.size());
+    auto run_base = [&](int64_t* bytes) {
+      int64_t sum = 0;
+      const auto start = std::chrono::steady_clock::now();
+      for (int64_t i = 0; i < iters; ++i) {
+        for (const VectorClock& vt : w.receiver_vts) {
+          const std::vector<IntervalRecord> out = base.PackFor(vt);
+          for (const IntervalRecord& rec : out) {
+            sum += rec.EncodedSize(true);
+          }
+        }
+      }
+      const double wall = Seconds(start);
+      *bytes = sum;
+      return wall;
+    };
+    auto run_opt = [&](int64_t* bytes) {
+      int64_t sum = 0;
+      IntervalBatch out;
+      const auto start = std::chrono::steady_clock::now();
+      for (int64_t i = 0; i < iters; ++i) {
+        for (const VectorClock& vt : w.receiver_vts) {
+          out.clear();
+          opt.log().PackInto(vt, &out);
+          for (const IntervalPtr& rec : out) {
+            sum += rec->EncodedSize(true);
+          }
+        }
+      }
+      const double wall = Seconds(start);
+      *bytes = sum;
+      return wall;
+    };
+    int64_t base_bytes = 0;
+    int64_t opt_bytes = 0;
+    run_base(&base_bytes);  // Warm.
+    run_opt(&opt_bytes);
+    double base_s = 1e100;
+    double opt_s = 1e100;
+    for (int rep = 0; rep < 3; ++rep) {
+      base_s = std::min(base_s, run_base(&base_bytes));
+      opt_s = std::min(opt_s, run_opt(&opt_bytes));
+    }
+    HLRC_CHECK(base_bytes == opt_bytes);
+    HLRC_CHECK(base_bytes == check_bytes * iters);
+    const double base_pps = static_cast<double>(packs) / base_s;
+    const double opt_pps = static_cast<double>(packs) / opt_s;
+    const double speedup = opt_pps / base_pps;
+    std::printf(
+        "pack_intervals %-7s %7.2fK packs/s (baseline %7.2fK packs/s, %.2fx)\n", "fanout",
+        opt_pps / 1e3, base_pps / 1e3, speedup);
+    json->BeginRow();
+    json->Add("component", "pack_intervals");
+    json->Add("case", "fanout");
+    json->Add("writers", static_cast<int64_t>(w.writers));
+    json->Add("records", static_cast<int64_t>(w.records.size()));
+    json->Add("receivers", static_cast<int64_t>(w.receiver_vts.size()));
+    json->Add("packs", packs);
+    json->Add("payload_bytes", check_bytes);
+    json->Add("baseline_s", base_s);
+    json->Add("optimized_s", opt_s);
+    json->Add("baseline_packs_per_sec", base_pps);
+    json->Add("optimized_packs_per_sec", opt_pps);
+    json->Add("speedup", speedup);
+    json->EndRow();
+  }
+
+  // apply_intervals: receiving one whole epoch. Each iteration replays the
+  // full batch into a fresh store, as a node does when a barrier release (or
+  // the burst of grants after a lock convoy) lands after GC truncation.
+  {
+    const int64_t iters = quick ? 200 : 2000;
+    auto run_base = [&](size_t* final_size) {
+      const auto start = std::chrono::steady_clock::now();
+      for (int64_t i = 0; i < iters; ++i) {
+        BaselineIntervalStore store(w.writers);
+        store.ApplyBatch(w.records);
+        *final_size = store.size();
+      }
+      return Seconds(start);
+    };
+    auto run_opt = [&](size_t* final_size) {
+      const auto start = std::chrono::steady_clock::now();
+      for (int64_t i = 0; i < iters; ++i) {
+        LogIntervalStore store(w.writers);
+        store.ApplyBatch(w.handles);
+        *final_size = store.size();
+      }
+      return Seconds(start);
+    };
+    size_t base_size = 0;
+    size_t opt_size = 0;
+    run_base(&base_size);  // Warm.
+    run_opt(&opt_size);
+    double base_s = 1e100;
+    double opt_s = 1e100;
+    for (int rep = 0; rep < 3; ++rep) {
+      base_s = std::min(base_s, run_base(&base_size));
+      opt_s = std::min(opt_s, run_opt(&opt_size));
+    }
+    HLRC_CHECK(base_size == opt_size && base_size == w.records.size());
+    const double base_bps = static_cast<double>(iters) / base_s;
+    const double opt_bps = static_cast<double>(iters) / opt_s;
+    const double speedup = opt_bps / base_bps;
+    std::printf(
+        "apply_intervals %-6s %7.2fK batches/s (baseline %7.2fK batches/s, %.2fx)\n",
+        "batch", opt_bps / 1e3, base_bps / 1e3, speedup);
+    json->BeginRow();
+    json->Add("component", "apply_intervals");
+    json->Add("case", "batch");
+    json->Add("writers", static_cast<int64_t>(w.writers));
+    json->Add("records", static_cast<int64_t>(w.records.size()));
+    json->Add("batches", iters);
+    json->Add("baseline_s", base_s);
+    json->Add("optimized_s", opt_s);
+    json->Add("baseline_batches_per_sec", base_bps);
+    json->Add("optimized_batches_per_sec", opt_bps);
+    json->Add("speedup", speedup);
+    json->EndRow();
+  }
+}
+
+// ---------------------------------------------------------------------------
 // End-to-end runs: the whole simulator (engine + protocol + diff plane).
 
 void BenchEndToEnd(bool quick, BenchJson* json) {
@@ -485,6 +764,7 @@ int Main(int argc, char** argv) {
   BenchJson json("perf_wallclock");
   BenchEngine(quick, &json);
   BenchDiff(quick, &json);
+  BenchIntervals(quick, &json);
   BenchEndToEnd(quick, &json);
   if (!json_out.empty()) {
     json.WriteFile(json_out);

@@ -1,0 +1,140 @@
+// Inline small-vector for protocol metadata.
+//
+// Write-notice page lists (IntervalRecord::pages) are short for most
+// intervals: a page or two for lock-protected updates, a node's band worth of
+// pages at a barrier. std::vector heap-allocates even for one element, and
+// the interval plane copies these lists on every close. SmallVec stores the
+// first N elements inline (no allocation) and only spills to the heap past
+// that, so the common record is a single contiguous object.
+//
+// Restricted to trivially copyable element types: growth, copies and moves
+// are memcpy, and clear() is a size reset that keeps any heap buffer for
+// reuse.
+#ifndef SRC_MEM_SMALL_VEC_H_
+#define SRC_MEM_SMALL_VEC_H_
+
+#include <cstddef>
+#include <cstring>
+#include <initializer_list>
+#include <type_traits>
+
+namespace hlrc {
+
+template <typename T, size_t N>
+class SmallVec {
+  static_assert(std::is_trivially_copyable_v<T>,
+                "SmallVec is memcpy-based; element type must be trivially copyable");
+  static_assert(N > 0, "inline capacity must be positive");
+
+ public:
+  SmallVec() = default;
+  SmallVec(std::initializer_list<T> init) { assign(init.begin(), init.end()); }
+  SmallVec(const SmallVec& o) { assign(o.begin(), o.end()); }
+  SmallVec(SmallVec&& o) noexcept { StealFrom(o); }
+  ~SmallVec() { delete[] heap_; }
+
+  SmallVec& operator=(const SmallVec& o) {
+    if (this != &o) {
+      assign(o.begin(), o.end());
+    }
+    return *this;
+  }
+  SmallVec& operator=(SmallVec&& o) noexcept {
+    if (this != &o) {
+      delete[] heap_;
+      StealFrom(o);
+    }
+    return *this;
+  }
+  SmallVec& operator=(std::initializer_list<T> init) {
+    assign(init.begin(), init.end());
+    return *this;
+  }
+
+  size_t size() const { return size_; }
+  bool empty() const { return size_ == 0; }
+  static constexpr size_t inline_capacity() { return N; }
+  size_t capacity() const { return cap_; }
+
+  // Keeps the heap buffer (if any) for reuse.
+  void clear() { size_ = 0; }
+
+  T* data() { return heap_ != nullptr ? heap_ : inline_; }
+  const T* data() const { return heap_ != nullptr ? heap_ : inline_; }
+  T* begin() { return data(); }
+  T* end() { return data() + size_; }
+  const T* begin() const { return data(); }
+  const T* end() const { return data() + size_; }
+
+  T& operator[](size_t i) { return data()[i]; }
+  const T& operator[](size_t i) const { return data()[i]; }
+  T& back() { return data()[size_ - 1]; }
+  const T& back() const { return data()[size_ - 1]; }
+
+  void reserve(size_t cap) {
+    if (cap > cap_) {
+      Grow(cap);
+    }
+  }
+
+  void push_back(const T& v) {
+    if (size_ == cap_) {
+      Grow(cap_ * 2);
+    }
+    data()[size_++] = v;
+  }
+
+  template <typename It>
+  void assign(It first, It last) {
+    clear();
+    for (; first != last; ++first) {
+      push_back(*first);
+    }
+  }
+
+  bool operator==(const SmallVec& o) const {
+    return size_ == o.size_ &&
+           std::memcmp(data(), o.data(), size_ * sizeof(T)) == 0;
+  }
+
+ private:
+  void Grow(size_t cap) {
+    T* buf = new T[cap];
+    if (heap_ != nullptr) {
+      std::memcpy(buf, heap_, size_ * sizeof(T));
+      delete[] heap_;
+    } else {
+      // size_ <= N on this branch; the clamp makes the bound provable so the
+      // compiler doesn't flag the inline-array read.
+      const size_t n = size_ < N ? size_ : N;
+      std::memcpy(buf, inline_, n * sizeof(T));
+    }
+    heap_ = buf;
+    cap_ = cap;
+  }
+
+  // Leaves `o` empty. Heap buffers transfer; inline contents copy.
+  void StealFrom(SmallVec& o) {
+    size_ = o.size_;
+    if (o.heap_ != nullptr) {
+      heap_ = o.heap_;
+      cap_ = o.cap_;
+      o.heap_ = nullptr;
+      o.cap_ = N;
+    } else {
+      heap_ = nullptr;
+      cap_ = N;
+      std::memcpy(inline_, o.inline_, size_ * sizeof(T));
+    }
+    o.size_ = 0;
+  }
+
+  T* heap_ = nullptr;
+  size_t cap_ = N;
+  size_t size_ = 0;
+  T inline_[N];
+};
+
+}  // namespace hlrc
+
+#endif  // SRC_MEM_SMALL_VEC_H_

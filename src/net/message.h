@@ -40,6 +40,12 @@ enum class MsgType : int {
 const char* MsgTypeName(MsgType t);
 
 // Base class for protocol payloads.
+//
+// Ownership: a Message owns its payload uniquely, but the reliable channel
+// may alias the whole Message across retransmissions, and interval-carrying
+// payloads (grants, barrier releases) hold shared handles to immutable
+// IntervalRecords that fan out to many receivers. Anything reachable from a
+// payload that is shared this way must never be mutated after it is sent.
 struct Payload {
   virtual ~Payload() = default;
 };

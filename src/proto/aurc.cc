@@ -9,7 +9,7 @@ int64_t AurcProtocol::ProtocolMemoryBytes() const {
 }
 
 void AurcProtocol::OnIntervalClosed(IntervalRecord* rec, CloseActions* actions) {
-  std::vector<PageId> kept;
+  PageList kept;
   for (PageId p : rec->pages) {
     // Flushes route via the static home (which forwards after a migration);
     // the home-effect test must use the believed home, or a node that just

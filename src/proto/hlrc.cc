@@ -74,7 +74,7 @@ bool HlrcProtocol::AppliedSatisfies(PageId page, const Required& required) const
 // effect", paper §4.4).
 
 void HlrcProtocol::OnIntervalClosed(IntervalRecord* rec, CloseActions* actions) {
-  std::vector<PageId> kept;
+  PageList kept;
   std::vector<std::function<void()>> flushes;          // Non-overlapped sends.
   std::vector<std::pair<SimTime, std::function<void()>>> cop_work;  // Overlapped.
 

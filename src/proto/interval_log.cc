@@ -1,0 +1,66 @@
+#include "src/proto/interval_log.h"
+
+#include <algorithm>
+
+#include "src/common/check.h"
+
+namespace hlrc {
+
+void IntervalLog::Reset(int writers) {
+  HLRC_CHECK(writers >= 0);
+  by_writer_.assign(static_cast<size_t>(writers), {});
+  count_ = 0;
+}
+
+void IntervalLog::Append(IntervalPtr rec) {
+  HLRC_CHECK(rec != nullptr);
+  HLRC_CHECK_MSG(rec->writer >= 0 && rec->writer < writers(),
+                 "interval writer %d outside log of %d writers", rec->writer, writers());
+  HLRC_CHECK_MSG(rec->sealed(), "appending unsealed interval (w=%d id=%u)", rec->writer,
+                 rec->id);
+  std::vector<IntervalPtr>& log = by_writer_[static_cast<size_t>(rec->writer)];
+  HLRC_CHECK_MSG(log.empty() || log.back()->id < rec->id,
+                 "non-monotonic append for writer %d: id %u after %u", rec->writer, rec->id,
+                 log.empty() ? 0u : log.back()->id);
+  log.push_back(std::move(rec));
+  ++count_;
+}
+
+void IntervalLog::PackInto(const VectorClock& vt, IntervalBatch* out) const {
+  for (const std::vector<IntervalPtr>& log : by_writer_) {
+    if (log.empty()) {
+      continue;
+    }
+    const uint32_t seen = vt.Get(log.front()->writer);
+    if (log.back()->id <= seen) {
+      continue;  // Receiver already has this writer's whole tail.
+    }
+    // First record the receiver is missing; everything after it is too,
+    // because ids are strictly increasing within a writer's log.
+    auto first = std::partition_point(
+        log.begin(), log.end(), [seen](const IntervalPtr& r) { return r->id <= seen; });
+    out->insert(out->end(), first, log.end());
+  }
+}
+
+const IntervalRecord* IntervalLog::Find(NodeId writer, uint32_t id) const {
+  if (writer < 0 || writer >= writers()) {
+    return nullptr;
+  }
+  const std::vector<IntervalPtr>& log = by_writer_[static_cast<size_t>(writer)];
+  auto it = std::partition_point(log.begin(), log.end(),
+                                 [id](const IntervalPtr& r) { return r->id < id; });
+  if (it == log.end() || (*it)->id != id) {
+    return nullptr;
+  }
+  return it->get();
+}
+
+void IntervalLog::Clear() {
+  for (std::vector<IntervalPtr>& log : by_writer_) {
+    log.clear();
+  }
+  count_ = 0;
+}
+
+}  // namespace hlrc

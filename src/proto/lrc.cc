@@ -14,7 +14,7 @@ namespace hlrc {
 // the co-processor for OLRC).
 
 void LrcProtocol::OnIntervalClosed(IntervalRecord* rec, CloseActions* actions) {
-  std::vector<PageId> kept;
+  PageList kept;
   std::vector<std::pair<DiffKey, SimTime>> cop_work;
   for (PageId p : rec->pages) {
     HLRC_CHECK(pages().HasTwin(p));
@@ -45,6 +45,8 @@ void LrcProtocol::OnIntervalClosed(IntervalRecord* rec, CloseActions* actions) {
     sd.create_cost = create_cost;
     diff_store_bytes_ += sd.bytes;
     diff_store_.emplace(DiffKey{p, rec->id}, std::move(sd));
+    // Interval ids grow monotonically, so plain assignment keeps the maximum.
+    latest_diff_id_[p] = rec->id;
 
     if (overlapped()) {
       cop_work.emplace_back(DiffKey{p, rec->id}, create_cost);
@@ -190,32 +192,45 @@ Task<void> LrcProtocol::ResolveFault(PageId page, bool write) {
 Task<void> LrcProtocol::FetchDiffs(PageId page) {
   // Group the page's pending write notices by writer; one request per writer
   // (paper §2.1: "the acquiring processor may have to visit more than one
-  // processor to obtain diffs").
-  std::map<NodeId, std::vector<uint32_t>> by_writer;
-  for (const PendingWn& wn : pending_[page]) {
-    by_writer[wn.writer].push_back(wn.id);
+  // processor to obtain diffs"). The per-writer buckets are reusable scratch
+  // (filled and drained synchronously, before the suspension below), visited
+  // in ascending writer order like the std::map they replaced.
+  if (writer_bucket_.empty()) {
+    writer_bucket_.resize(static_cast<size_t>(nodes()));
   }
-  HLRC_CHECK(!by_writer.empty());
+  HLRC_DCHECK(writer_scratch_.empty());
+  for (const PendingWn& wn : pending_[page]) {
+    std::vector<uint32_t>& bucket = writer_bucket_[static_cast<size_t>(wn.writer)];
+    if (bucket.empty()) {
+      writer_scratch_.push_back(wn.writer);
+    }
+    bucket.push_back(wn.id);
+  }
+  std::sort(writer_scratch_.begin(), writer_scratch_.end());
+  HLRC_CHECK(!writer_scratch_.empty());
 
   HLRC_CHECK(faults_.find(page) == faults_.end());
   FaultCtx& ctx = faults_[page];
-  ctx.replies_needed = static_cast<int>(by_writer.size());
+  ctx.replies_needed = static_cast<int>(writer_scratch_.size());
   ctx.done = std::make_unique<Completion>(engine());
-  stats_.diff_requests_sent += static_cast<int64_t>(by_writer.size());
+  stats_.diff_requests_sent += static_cast<int64_t>(writer_scratch_.size());
 
   {
     // Chain the requests from the fault root (kNoSpan under GC validation).
     // Scoped: the context must not survive across the suspension below.
     SpanCause sc(this, cur_fault_span_);
-    for (auto& [writer, ids] : by_writer) {
+    for (NodeId writer : writer_scratch_) {
       HLRC_CHECK(writer != self());
+      std::vector<uint32_t>& ids = writer_bucket_[static_cast<size_t>(writer)];
+      const int64_t id_count = static_cast<int64_t>(ids.size());
       auto payload = std::make_unique<DiffRequestPayload>();
       payload->page = page;
       payload->requester = self();
-      payload->intervals = ids;
-      Send(writer, MsgType::kDiffRequest, 0, 16 + 4 * static_cast<int64_t>(ids.size()),
-           std::move(payload));
+      payload->intervals = std::move(ids);
+      ids.clear();  // Moved-from: make the bucket explicitly empty for reuse.
+      Send(writer, MsgType::kDiffRequest, 0, 16 + 4 * id_count, std::move(payload));
     }
+    writer_scratch_.clear();
   }
 
   co_await *ctx.done;
@@ -530,13 +545,13 @@ Task<void> LrcProtocol::BarrierPreRelease(BarrierId barrier, bool mem_pressure) 
   {
     SpanCause sc(this, BarrierGatherSpan(barrier));
     for (NodeId n = 0; n < nodes(); ++n) {
-      std::vector<IntervalRecord> missing = PackBarrierReleaseFor(barrier, n);
+      IntervalBatch missing = PackBarrierReleaseFor(barrier, n);
       if (n == self()) {
         ApplyGcValidate(validators, missing);
       } else {
         int64_t bytes = 8 + 8 * static_cast<int64_t>(validators.size());
-        for (const IntervalRecord& rec : missing) {
-          bytes += IntervalBytes(rec);
+        for (const IntervalPtr& rec : missing) {
+          bytes += IntervalBytes(*rec);
         }
         auto payload = std::make_unique<GcValidatePayload>();
         payload->validators = validators;
@@ -551,17 +566,19 @@ Task<void> LrcProtocol::BarrierPreRelease(BarrierId barrier, bool mem_pressure) 
 
 void LrcProtocol::HandleGcRequest() {
   // Report, per page we hold diffs for, our latest interval that wrote it.
-  std::map<PageId, std::pair<uint32_t, VectorClock>> latest;
-  for (const auto& [key, sd] : diff_store_) {
-    auto it = latest.find(key.first);
-    if (it == latest.end() || key.second > it->second.first) {
-      latest[key.first] = {key.second, sd.vt};
-    }
+  // The inventory index is maintained incrementally at diff creation, so this
+  // is a sort of its keys, not a scan of the whole diff store.
+  std::vector<PageId> inventory;
+  inventory.reserve(latest_diff_id_.size());
+  for (const auto& [page, id] : latest_diff_id_) {
+    inventory.push_back(page);
   }
+  std::sort(inventory.begin(), inventory.end());
   std::vector<std::tuple<PageId, uint32_t, VectorClock>> entries;
-  entries.reserve(latest.size());
-  for (auto& [page, e] : latest) {
-    entries.emplace_back(page, e.first, std::move(e.second));
+  entries.reserve(inventory.size());
+  for (PageId page : inventory) {
+    const uint32_t id = latest_diff_id_.at(page);
+    entries.emplace_back(page, id, diff_store_.at(DiffKey{page, id}).vt);
   }
 
   const NodeId manager = 0;  // Barrier manager runs GC.
@@ -592,7 +609,7 @@ void LrcProtocol::HandleGcInfo(NodeId node,
 }
 
 void LrcProtocol::ApplyGcValidate(const std::vector<std::pair<PageId, NodeId>>& validators,
-                                  const std::vector<IntervalRecord>& intervals) {
+                                  const IntervalBatch& intervals) {
   HLRC_CHECK(gc_map_.empty());
   Trace(TraceEvent::kGcStart, static_cast<int64_t>(validators.size()));
   // Learn every pre-barrier interval now (the barrier release will re-send
@@ -661,6 +678,7 @@ void LrcProtocol::OnBarrierReleased() {
   }
   diff_store_.clear();
   diff_store_bytes_ = 0;
+  latest_diff_id_.clear();
   gc_map_.clear();
   env().cpu->RunService(cost, BusyCat::kGc, [] {});
   NoteMemory();

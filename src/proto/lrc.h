@@ -87,12 +87,25 @@ class LrcProtocol : public ProtocolNode {
   void HandleGcInfo(NodeId node,
                     std::vector<std::tuple<PageId, uint32_t, VectorClock>> entries);
   void ApplyGcValidate(const std::vector<std::pair<PageId, NodeId>>& validators,
-                       const std::vector<IntervalRecord>& intervals);
+                       const IntervalBatch& intervals);
   Task<void> ValidateForGc(std::vector<PageId> pages);
   void HandleGcDone();
 
   std::map<DiffKey, StoredDiff> diff_store_;
   int64_t diff_store_bytes_ = 0;
+
+  // Flat per-page GC inventory index: page -> highest interval id with a
+  // stored diff. Maintained incrementally at diff creation so HandleGcRequest
+  // reads it off instead of rebuilding a std::map from the whole diff store
+  // every GC round. Cleared with diff_store_. Host-side bookkeeping only: not
+  // part of the simulated memory model (SubclassMemoryBytes).
+  std::unordered_map<PageId, uint32_t> latest_diff_id_;
+
+  // Reusable per-writer buckets for FetchDiffs grouping (replaces a fresh
+  // std::map<NodeId, vector> per fault). writer_scratch_ lists the writers
+  // with a non-empty bucket; both are drained before any suspension point.
+  std::vector<std::vector<uint32_t>> writer_bucket_;
+  std::vector<NodeId> writer_scratch_;
 
   std::unordered_map<PageId, std::vector<PendingWn>> pending_;
   int64_t pending_count_ = 0;
@@ -160,8 +173,8 @@ struct GcValidatePayload : Payload {
   // The write notices this node's barrier release will carry, delivered
   // early: a validator must know every pre-barrier interval of its pages
   // before validating, or it would discover new diffs only after they have
-  // been collected.
-  std::vector<IntervalRecord> intervals;
+  // been collected. Shared handles, like the release payload itself.
+  IntervalBatch intervals;
 };
 
 struct GcDonePayload : Payload {

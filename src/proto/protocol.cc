@@ -61,6 +61,7 @@ const char* TestMutationName(TestMutation m) {
 
 ProtocolNode::ProtocolNode(const Env& env)
     : vt_(env.nodes),
+      interval_log_(env.nodes),
       env_(env),
       sent_to_manager_vt_(env.nodes),
       dirty_flag_(static_cast<size_t>(env.pages->num_pages()), false) {}
@@ -164,6 +165,9 @@ NodeId ProtocolNode::HomeOf(PageId page) const {
 }
 
 void ProtocolNode::NoteMemory() {
+  if (known_interval_bytes_ > stats_.interval_meta_highwater) {
+    stats_.interval_meta_highwater = known_interval_bytes_;
+  }
   const int64_t mem = ProtocolMemoryBytes();
   if (mem > stats_.proto_mem_highwater) {
     stats_.proto_mem_highwater = mem;
@@ -175,10 +179,9 @@ int64_t ProtocolNode::ProtocolMemoryBytes() const {
 }
 
 const IntervalRecord& ProtocolNode::KnownInterval(NodeId writer, uint32_t id) const {
-  auto it = known_intervals_.find(IntervalKey{writer, id});
-  HLRC_CHECK_MSG(it != known_intervals_.end(), "node %d: unknown interval (%d, %u)", env_.self,
-                 writer, id);
-  return it->second;
+  const IntervalRecord* rec = interval_log_.Find(writer, id);
+  HLRC_CHECK_MSG(rec != nullptr, "node %d: unknown interval (%d, %u)", env_.self, writer, id);
+  return *rec;
 }
 
 // ---------------------------------------------------------------------------
@@ -210,7 +213,7 @@ ProtocolNode::CloseActions ProtocolNode::CloseIntervalPrepared() {
   rec.vt = vt_;
   rec.vt.Set(env_.self, rec.id);
   std::sort(open_dirty_.begin(), open_dirty_.end());
-  rec.pages = std::move(open_dirty_);
+  rec.pages.assign(open_dirty_.begin(), open_dirty_.end());
   open_dirty_.clear();
 
   for (PageId p : rec.pages) {
@@ -243,8 +246,13 @@ ProtocolNode::CloseActions ProtocolNode::CloseIntervalPrepared() {
     vt_.Bump(env_.self);
     HLRC_CHECK(vt_.Get(env_.self) == rec.id);
     ++stats_.intervals_closed;
-    known_interval_bytes_ += IntervalBytes(rec);
-    known_intervals_.emplace(IntervalKey{rec.writer, rec.id}, std::move(rec));
+    // Publish: seal the record and hand it to the log as a shared immutable
+    // handle. From here on, every packed payload and every receiver's log
+    // alias this one object; nobody may mutate it.
+    rec.Seal();
+    IntervalPtr handle = std::make_shared<IntervalRecord>(std::move(rec));
+    known_interval_bytes_ += IntervalBytes(*handle);
+    interval_log_.Append(std::move(handle));
     NoteMemory();
   }
   return actions;
@@ -264,10 +272,11 @@ Task<void> ProtocolNode::CloseIntervalFromApp() {
   co_await flushed;
 }
 
-SimTime ProtocolNode::ApplyIntervals(const std::vector<IntervalRecord>& recs) {
+SimTime ProtocolNode::ApplyIntervals(const IntervalBatch& recs) {
   SimTime cost = 0;
   int64_t invalidated = 0;
-  for (const IntervalRecord& rec : recs) {
+  for (const IntervalPtr& handle : recs) {
+    const IntervalRecord& rec = *handle;
     if (rec.id <= vt_.Get(rec.writer)) {
       HLRC_TRACE("[%lld] node %d: skip interval (w=%d id=%u) vt=%u",
                  (long long)engine()->Now(), env_.self, rec.writer, rec.id,
@@ -291,7 +300,7 @@ SimTime ProtocolNode::ApplyIntervals(const std::vector<IntervalRecord>& recs) {
             did_invalidate ? 1 : 0);  // Cause 1: invalidated, 0: kept.
     }
     known_interval_bytes_ += IntervalBytes(rec);
-    known_intervals_.emplace(IntervalKey{rec.writer, rec.id}, rec);
+    interval_log_.Append(handle);  // Shared handle: no record copy.
   }
   cost += invalidated * costs().page_invalidate;
   stats_.pages_invalidated += invalidated;
@@ -299,14 +308,8 @@ SimTime ProtocolNode::ApplyIntervals(const std::vector<IntervalRecord>& recs) {
   return cost;
 }
 
-std::vector<IntervalRecord> ProtocolNode::PackIntervalsFor(const VectorClock& vt) const {
-  std::vector<IntervalRecord> out;
-  for (const auto& [key, rec] : known_intervals_) {
-    if (rec.id > vt.Get(rec.writer)) {
-      out.push_back(rec);
-    }
-  }
-  return out;
+IntervalBatch ProtocolNode::PackIntervalsFor(const VectorClock& vt) const {
+  return interval_log_.PackFor(vt);
 }
 
 // ---------------------------------------------------------------------------
@@ -524,7 +527,7 @@ void ProtocolNode::GrantLock(LockId lock, NodeId requester, const VectorClock& r
   CloseActions actions = CloseIntervalPrepared();
 
   auto send_grant = [this, lock, requester, rvt, cause] {
-    std::vector<IntervalRecord> recs = PackIntervalsFor(rvt);
+    IntervalBatch recs = PackIntervalsFor(rvt);
     const SimTime pack_cost =
         costs().lock_handling + costs().wn_pack * static_cast<SimTime>(recs.size());
     const SimTime t_dispatch = engine()->Now();
@@ -532,8 +535,8 @@ void ProtocolNode::GrantLock(LockId lock, NodeId requester, const VectorClock& r
         pack_cost, BusyCat::kWriteNotice,
         [this, lock, requester, cause, t_dispatch, recs = std::move(recs)]() mutable {
           int64_t bytes = 16;
-          for (const IntervalRecord& rec : recs) {
-            bytes += IntervalBytes(rec);
+          for (const IntervalPtr& rec : recs) {
+            bytes += IntervalBytes(*rec);
           }
           auto payload = std::make_unique<LockGrantPayload>();
           payload->lock = lock;
@@ -563,7 +566,7 @@ void ProtocolNode::GrantLock(LockId lock, NodeId requester, const VectorClock& r
   }
 }
 
-void ProtocolNode::HandleLockGrant(LockId lock, std::vector<IntervalRecord> intervals) {
+void ProtocolNode::HandleLockGrant(LockId lock, IntervalBatch intervals) {
   HLRC_TRACE("[%lld] node %d: received grant for lock %d", (long long)engine()->Now(),
              env_.self, lock);
   Cover(CoverageObserver::Domain::kSyncEpoch, 0,
@@ -593,7 +596,7 @@ Task<void> ProtocolNode::Barrier(BarrierId barrier) {
   HLRC_CHECK(barrier_waiting_ == nullptr);
   barrier_waiting_ = std::make_unique<Completion>(env_.engine);
 
-  std::vector<IntervalRecord> recs = PackIntervalsFor(sent_to_manager_vt_);
+  IntervalBatch recs = PackIntervalsFor(sent_to_manager_vt_);
   co_await ChargeCpu(costs().wn_pack * static_cast<SimTime>(recs.size()),
                      BusyCat::kWriteNotice);
   const bool pressure =
@@ -605,8 +608,8 @@ Task<void> ProtocolNode::Barrier(BarrierId barrier) {
       HandleBarrierEnter(barrier, env_.self, vt_, std::move(recs), pressure);
     } else {
       int64_t bytes = 16 + vt_.EncodedSize();
-      for (const IntervalRecord& rec : recs) {
-        bytes += IntervalBytes(rec);
+      for (const IntervalPtr& rec : recs) {
+        bytes += IntervalBytes(*rec);
       }
       auto payload = std::make_unique<BarrierEnterPayload>();
       payload->barrier = barrier;
@@ -626,7 +629,7 @@ Task<void> ProtocolNode::Barrier(BarrierId barrier) {
 }
 
 void ProtocolNode::HandleBarrierEnter(BarrierId barrier, NodeId node, const VectorClock& nvt,
-                                      std::vector<IntervalRecord> intervals, bool mem_pressure) {
+                                      IntervalBatch intervals, bool mem_pressure) {
   BarrierManagerState& bm = barrier_mgr_[barrier];
   if (bm.arrival_vt.empty()) {
     bm.arrival_vt.assign(static_cast<size_t>(env_.nodes), VectorClock(env_.nodes));
@@ -667,8 +670,7 @@ void ProtocolNode::BarrierAllArrived(BarrierId barrier) {
   }(this, barrier, pressure));
 }
 
-std::vector<IntervalRecord> ProtocolNode::PackBarrierReleaseFor(BarrierId barrier,
-                                                                NodeId node) const {
+IntervalBatch ProtocolNode::PackBarrierReleaseFor(BarrierId barrier, NodeId node) const {
   auto it = barrier_mgr_.find(barrier);
   HLRC_CHECK(it != barrier_mgr_.end());
   return PackIntervalsFor(it->second.arrival_vt[static_cast<size_t>(node)]);
@@ -691,11 +693,13 @@ void ProtocolNode::SendBarrierReleases(BarrierId barrier) {
     if (n == env_.self) {
       continue;
     }
-    std::vector<IntervalRecord> recs = PackIntervalsFor(bm.arrival_vt[static_cast<size_t>(n)]);
+    // Handle copies only: each receiver's release payload aliases the same
+    // underlying records (the copy-free fan-out this PR is about).
+    IntervalBatch recs = PackIntervalsFor(bm.arrival_vt[static_cast<size_t>(n)]);
     cost += costs().barrier_handling + costs().wn_pack * static_cast<SimTime>(recs.size());
     int64_t bytes = 16 + vt_.EncodedSize();
-    for (const IntervalRecord& rec : recs) {
-      bytes += IntervalBytes(rec);
+    for (const IntervalPtr& rec : recs) {
+      bytes += IntervalBytes(*rec);
     }
     auto payload = std::make_unique<BarrierReleasePayload>();
     payload->barrier = barrier;
@@ -711,8 +715,7 @@ void ProtocolNode::SendBarrierReleases(BarrierId barrier) {
                        });
 }
 
-void ProtocolNode::HandleBarrierRelease(std::vector<IntervalRecord> intervals,
-                                        const VectorClock& max_vt) {
+void ProtocolNode::HandleBarrierRelease(IntervalBatch intervals, const VectorClock& max_vt) {
   Cover(CoverageObserver::Domain::kSyncEpoch, 1,
         CoverageBucket(intervals.size()));  // Sync kind 1: barrier release.
   const SimTime cost = ApplyIntervals(intervals);
@@ -721,9 +724,11 @@ void ProtocolNode::HandleBarrierRelease(std::vector<IntervalRecord> intervals,
   const SimTime t0 = engine()->Now();
   env_.cpu->RunService(cost, BusyCat::kWriteNotice, [this, cause, t0] {
     SpanEmit(SpanKind::kWnApply, t0, cause);
-    // Everything known at this barrier is now known everywhere: prune the
+    // Everything known at this barrier is now known everywhere: truncate the
     // interval log (diffs and per-page state are managed by the subclass).
-    known_intervals_.clear();
+    // Records still referenced by in-flight payloads stay alive through
+    // their shared handles and die with the last one.
+    interval_log_.Clear();
     known_interval_bytes_ = 0;
     sent_to_manager_vt_ = vt_;
     OnBarrierReleased();

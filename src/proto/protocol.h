@@ -15,7 +15,6 @@
 
 #include <cstdint>
 #include <functional>
-#include <map>
 #include <memory>
 #include <unordered_map>
 #include <vector>
@@ -28,6 +27,7 @@
 #include "src/net/network.h"
 #include "src/proto/cost_model.h"
 #include "src/proto/interval.h"
+#include "src/proto/interval_log.h"
 #include "src/proto/options.h"
 #include "src/proto/vector_clock.h"
 #include "src/sim/completion.h"
@@ -58,6 +58,12 @@ struct ProtoStats {
 
   // Protocol memory high-water mark (Table 6).
   int64_t proto_mem_highwater = 0;
+
+  // Interval-metadata component of the high-water mark (bytes of interval
+  // records / write notices held in the interval log), tracked separately so
+  // table6_memory can attribute metadata overhead. Not part of the run
+  // summary or golden output.
+  int64_t interval_meta_highwater = 0;
 };
 
 class ProtocolNode {
@@ -190,7 +196,7 @@ class ProtocolNode {
   // For the GC orchestration: the write notices node `node` is missing, i.e.
   // exactly what its barrier release will carry. Only valid at the barrier
   // manager between all-arrived and the releases.
-  std::vector<IntervalRecord> PackBarrierReleaseFor(BarrierId barrier, NodeId node) const;
+  IntervalBatch PackBarrierReleaseFor(BarrierId barrier, NodeId node) const;
 
   // Called on every node when a barrier release is applied; lets subclasses
   // prune per-barrier state.
@@ -232,11 +238,13 @@ class ProtocolNode {
 
   // Applies a batch of interval records learned from a grant or release.
   // Returns the cpu cost of the write-notice handling (already includes page
-  // invalidation costs).
-  SimTime ApplyIntervals(const std::vector<IntervalRecord>& recs);
+  // invalidation costs). The handles are stored as-is: the receiver's log
+  // aliases the sender's records instead of deep-copying them.
+  SimTime ApplyIntervals(const IntervalBatch& recs);
 
-  // Packs all known intervals the node `vt` has not seen.
-  std::vector<IntervalRecord> PackIntervalsFor(const VectorClock& vt) const;
+  // Packs all known intervals the node `vt` has not seen (handle copies, no
+  // record copies).
+  IntervalBatch PackIntervalsFor(const VectorClock& vt) const;
 
   // Sends a message, filling in the source.
   void Send(NodeId dst, MsgType type, int64_t update_bytes, int64_t protocol_bytes,
@@ -393,9 +401,10 @@ class ProtocolNode {
   SpanId interval_close_span_ = kNoSpan;
   VectorClock vt_;
 
-  // All interval records known to this node, pruned at barriers once every
+  // All interval records known to this node — one append-only log per
+  // writer, holding shared immutable handles — pruned at barriers once every
   // node has seen them.
-  std::map<IntervalKey, IntervalRecord> known_intervals_;
+  IntervalLog interval_log_;
   int64_t known_interval_bytes_ = 0;
 
   // Looks up a known interval record; aborts if missing.
@@ -432,7 +441,7 @@ class ProtocolNode {
   // service span for an immediate grant, or the parked pending_span when the
   // grant happens at release time. kNoSpan when tracing is off.
   void GrantLock(LockId lock, NodeId requester, const VectorClock& rvt, SpanId cause);
-  void HandleLockGrant(LockId lock, std::vector<IntervalRecord> intervals);
+  void HandleLockGrant(LockId lock, IntervalBatch intervals);
 
   // ---- Barrier algorithm ---------------------------------------------------
 
@@ -449,10 +458,10 @@ class ProtocolNode {
   };
 
   void HandleBarrierEnter(BarrierId barrier, NodeId node, const VectorClock& nvt,
-                          std::vector<IntervalRecord> intervals, bool mem_pressure);
+                          IntervalBatch intervals, bool mem_pressure);
   void BarrierAllArrived(BarrierId barrier);
   void SendBarrierReleases(BarrierId barrier);
-  void HandleBarrierRelease(std::vector<IntervalRecord> intervals, const VectorClock& max_vt);
+  void HandleBarrierRelease(IntervalBatch intervals, const VectorClock& max_vt);
 
   Env env_;
 
@@ -484,22 +493,27 @@ struct LockForwardPayload : Payload {
   VectorClock vt;
 };
 
+// Grant/release payloads carry shared handles to immutable records: an
+// N-node fan-out aliases one record N times instead of deep-copying it. The
+// reliable channel may retransmit a whole Message (aliased, not copied), so
+// immutability-after-publish is load-bearing, not just an optimization.
+
 struct LockGrantPayload : Payload {
   LockId lock;
-  std::vector<IntervalRecord> intervals;
+  IntervalBatch intervals;
 };
 
 struct BarrierEnterPayload : Payload {
   BarrierId barrier;
   NodeId node;
   VectorClock vt;
-  std::vector<IntervalRecord> intervals;
+  IntervalBatch intervals;
   bool mem_pressure = false;
 };
 
 struct BarrierReleasePayload : Payload {
   BarrierId barrier;
-  std::vector<IntervalRecord> intervals;
+  IntervalBatch intervals;
   VectorClock max_vt;
 };
 

@@ -357,6 +357,7 @@ NodeReport RunReport::Average() const {
   avg.proto.intervals_closed /= n;
   avg.proto.write_notices_received /= n;
   avg.proto.pages_invalidated /= n;
+  avg.proto.interval_meta_highwater /= n;
   avg.proto_mem_highwater /= n;
   avg.traffic.msgs_sent /= n;
   avg.traffic.update_bytes_sent /= n;
@@ -384,6 +385,7 @@ NodeReport RunReport::Totals() const {
     total.proto.write_notices_received += r.proto.write_notices_received;
     total.proto.pages_invalidated += r.proto.pages_invalidated;
     total.proto.gc_runs += r.proto.gc_runs;
+    total.proto.interval_meta_highwater += r.proto.interval_meta_highwater;
     total.proto_mem_highwater += r.proto_mem_highwater;
     total.traffic.msgs_sent += r.traffic.msgs_sent;
     total.traffic.msgs_received += r.traffic.msgs_received;
