@@ -56,7 +56,7 @@ ProtocolKind ParseProtocol(const std::string& s) {
                "          [--protocols=lrc,olrc,hlrc,ohlrc] [--page-size=N]\n"
                "          [--home=block|round-robin|single-node] [--no-verify]\n"
                "          [--fault-drop=P] [--fault-seed=N] [--json=FILE] [--jobs=N]\n"
-               "          [--causal]\n",
+               "          [--causal] [--reliable] [--coalesce] [--barrier-arity=N]\n",
                argv0);
   std::exit(2);
 }
@@ -117,6 +117,12 @@ BenchOptions ParseArgs(int argc, char** argv) {
       opts.jobs = std::atoi(value("--jobs=").c_str());
     } else if (arg == "--causal") {
       opts.causal = true;
+    } else if (arg == "--reliable") {
+      opts.reliable = true;
+    } else if (arg == "--coalesce") {
+      opts.coalesce = true;
+    } else if (arg.rfind("--barrier-arity=", 0) == 0) {
+      opts.barrier_arity = std::atoi(value("--barrier-arity=").c_str());
     } else if (arg == "--no-verify") {
       opts.verify = false;
     } else if (arg == "--help" || arg == "-h") {
@@ -144,6 +150,15 @@ SimConfig BaseConfig(const BenchOptions& opts, ProtocolKind kind, int nodes) {
     cfg.fault.seed = opts.fault_seed;
     cfg.reliability.enabled = true;
   }
+  if (opts.reliable) {
+    cfg.reliability.enabled = true;
+  }
+  if (opts.coalesce) {
+    cfg.network.coalesce = true;
+    cfg.protocol.coalesce = true;
+    cfg.reliability.piggyback_acks = cfg.reliability.enabled;
+  }
+  cfg.protocol.barrier_arity = opts.barrier_arity;
   return cfg;
 }
 

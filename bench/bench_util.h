@@ -28,6 +28,14 @@ struct BenchOptions {
   // be regenerated under degradation (e.g. table5_traffic --fault-drop=0.01).
   double fault_drop = 0.0;
   uint64_t fault_seed = 42;
+  // Reliable delivery without faults (--reliable): acks/retransmit machinery
+  // on a clean fabric, the baseline the coalesced wire plane is measured
+  // against (table5_traffic --coalesce).
+  bool reliable = false;
+  // Coalesced wire plane (--coalesce) + combining barrier tree
+  // (--barrier-arity=N). Piggybacked acks engage when reliability is on.
+  bool coalesce = false;
+  int barrier_arity = 0;
   // Worker threads for benchmarks that fan data points out through
   // ParallelMap (src/sim/sweep.h). Each data point is an isolated System, so
   // tables and JSON output are byte-identical at any job count.

@@ -18,6 +18,9 @@
 //                     deep-copied every record into every payload;
 //   * end_to_end    — wall seconds and events/sec for whole svmsim-style
 //                     application runs.
+//   * coalesce      — physical-frame counts for HLRC runs on a reliable
+//                     fabric with the coalesced wire plane off vs. on
+//                     (--coalesce --barrier-arity=4 in svmsim terms).
 //
 //   perf_wallclock [--quick] [--json=FILE]
 //
@@ -744,6 +747,91 @@ void BenchEndToEnd(bool quick, BenchJson* json) {
   }
 }
 
+// ---------------------------------------------------------------------------
+// Coalesced wire plane: physical frames with and without --coalesce
+// --barrier-arity=4 on a reliable fabric. The interesting number is the frame
+// cut — protocol messages repacked into multi-part bundles plus acks riding
+// reverse-direction data — while the logical message count stays within the
+// timing-drift noise (delayed acks shift fault timing slightly).
+
+int64_t LogicalMsgs(const NodeReport& t) {
+  int64_t n = 0;
+  for (size_t i = 0; i < t.traffic.msgs_by_type.size(); ++i) {
+    if (i == static_cast<size_t>(MsgType::kAck) ||
+        i == static_cast<size_t>(MsgType::kBundle)) {
+      continue;
+    }
+    n += t.traffic.msgs_by_type[i];
+  }
+  return n;
+}
+
+void BenchCoalesce(bool quick, BenchJson* json) {
+  const std::vector<std::string> apps =
+      quick ? std::vector<std::string>{"sor", "raytrace"}
+            : std::vector<std::string>{"sor", "water-nsq", "water-sp", "raytrace"};
+  constexpr int kNodes = 8;
+  for (const std::string& app_name : apps) {
+    auto run_once = [&](bool coalesce, NodeReport* totals, double* wall) {
+      SimConfig cfg;
+      cfg.nodes = kNodes;
+      cfg.page_size = 4096;
+      cfg.shared_bytes = 256ll << 20;
+      cfg.protocol.kind = ProtocolKind::kHlrc;
+      cfg.reliability.enabled = true;
+      if (coalesce) {
+        cfg.network.coalesce = true;
+        cfg.protocol.coalesce = true;
+        cfg.protocol.barrier_arity = 4;
+        cfg.reliability.piggyback_acks = true;
+      }
+      auto app = MakeApp(app_name, AppScale::kDefault);
+      System sys(cfg);
+      app->Setup(sys);
+      const auto start = std::chrono::steady_clock::now();
+      sys.Run(app->Program());
+      *wall = Seconds(start);
+      std::string why;
+      HLRC_CHECK_MSG(app->Verify(sys, &why), "%s failed verification: %s",
+                     app_name.c_str(), why.c_str());
+      *totals = sys.report().Totals();
+    };
+    NodeReport base;
+    NodeReport co;
+    double base_wall = 0;
+    double co_wall = 0;
+    run_once(false, &base, &base_wall);
+    run_once(true, &co, &co_wall);
+    const double cut = 1.0 - static_cast<double>(co.traffic.msgs_sent) /
+                                 static_cast<double>(base.traffic.msgs_sent);
+    std::printf(
+        "coalesce    %-10s HLRC/%d: frames %lld -> %lld (%.1f%% cut), "
+        "%lld acks piggybacked, %lld msgs packed into %lld bundles\n",
+        app_name.c_str(), kNodes, static_cast<long long>(base.traffic.msgs_sent),
+        static_cast<long long>(co.traffic.msgs_sent), 100.0 * cut,
+        static_cast<long long>(co.traffic.acks_piggybacked),
+        static_cast<long long>(co.traffic.msgs_coalesced),
+        static_cast<long long>(co.traffic.frames_coalesced));
+    json->BeginRow();
+    json->Add("component", "coalesce");
+    json->Add("app", app_name);
+    json->Add("protocol", "HLRC");
+    json->Add("nodes", kNodes);
+    json->Add("frames_base", base.traffic.msgs_sent);
+    json->Add("frames_coalesce", co.traffic.msgs_sent);
+    json->Add("frame_cut", cut);
+    json->Add("logical_base", LogicalMsgs(base));
+    json->Add("logical_coalesce", LogicalMsgs(co));
+    json->Add("acks_piggybacked", co.traffic.acks_piggybacked);
+    json->Add("msgs_coalesced", co.traffic.msgs_coalesced);
+    json->Add("frames_coalesced", co.traffic.frames_coalesced);
+    json->Add("page_replies_combined", co.proto.page_replies_combined);
+    json->Add("base_wall_s", base_wall);
+    json->Add("coalesce_wall_s", co_wall);
+    json->EndRow();
+  }
+}
+
 int Main(int argc, char** argv) {
   bool quick = false;
   std::string json_out;
@@ -766,6 +854,7 @@ int Main(int argc, char** argv) {
   BenchDiff(quick, &json);
   BenchIntervals(quick, &json);
   BenchEndToEnd(quick, &json);
+  BenchCoalesce(quick, &json);
   if (!json_out.empty()) {
     json.WriteFile(json_out);
   }

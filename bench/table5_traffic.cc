@@ -9,6 +9,24 @@ namespace hlrc {
 namespace bench {
 namespace {
 
+// Protocol-level message count: every logical message the protocols
+// exchanged, regardless of how the wire plane framed it. Excludes acks
+// (reliable-delivery bookkeeping, not protocol traffic) and bundle frames
+// (counted once per carried part instead). Invariant under --coalesce: the
+// coalesced plane repacks frames but never adds or removes protocol
+// messages.
+int64_t LogicalMsgs(const NodeReport& t) {
+  int64_t n = 0;
+  for (size_t i = 0; i < t.traffic.msgs_by_type.size(); ++i) {
+    if (i == static_cast<size_t>(MsgType::kAck) ||
+        i == static_cast<size_t>(MsgType::kBundle)) {
+      continue;
+    }
+    n += t.traffic.msgs_by_type[i];
+  }
+  return n;
+}
+
 int Main(int argc, char** argv) {
   BenchOptions opts = ParseArgs(argc, argv);
 
@@ -41,6 +59,14 @@ int Main(int argc, char** argv) {
     json.Add("retransmissions", t.traffic.msgs_retransmitted);
     json.Add("dup_dropped", t.traffic.msgs_duplicated_dropped);
     json.Add("acks", t.traffic.acks_sent);
+    // Frames vs. logical messages: "msgs" above counts physical frames (a
+    // coalesced bundle is one frame); "logical_msgs" counts the protocol
+    // messages inside them and must not change under --coalesce.
+    json.Add("logical_msgs", LogicalMsgs(t));
+    json.Add("frames_coalesced", t.traffic.frames_coalesced);
+    json.Add("msgs_coalesced", t.traffic.msgs_coalesced);
+    json.Add("acks_piggybacked", t.traffic.acks_piggybacked);
+    json.Add("page_replies_combined", t.proto.page_replies_combined);
     json.EndRow();
   };
 

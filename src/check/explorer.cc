@@ -77,6 +77,12 @@ CheckResult RunOne(const CheckConfig& config) {
     sim.fault.seed = Rng(config.seed).NextU64();
   }
   sim.reliability = config.reliability;
+  if (config.coalesce) {
+    sim.network.coalesce = true;
+    sim.protocol.coalesce = true;
+    sim.reliability.piggyback_acks = sim.reliability.enabled;
+  }
+  sim.protocol.barrier_arity = config.barrier_arity;
 
   LitmusConfig lcfg;
   lcfg.nodes = config.nodes;

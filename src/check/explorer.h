@@ -60,6 +60,12 @@ struct CheckConfig {
   ReliabilityConfig reliability;
   TestMutation mutation = TestMutation::kNone;
 
+  // Coalesced wire plane (frame packing + request combining; piggybacked
+  // acks whenever reliability is enabled too) and the combining barrier
+  // tree, so sweeps can hammer the coalesced paths with the same chaos.
+  bool coalesce = false;
+  int barrier_arity = 0;
+
   // Small machine: litmus programs touch a handful of pages, and a small
   // page keeps diff traffic and sweep wall-time low.
   int64_t page_size = 512;

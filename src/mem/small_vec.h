@@ -79,7 +79,13 @@ class SmallVec {
 
   void push_back(const T& v) {
     if (size_ == cap_) {
+      // `v` may alias our own storage (push_back(vec[i]), assign from a
+      // range into *this): Grow frees the heap buffer, so take the value
+      // before reallocating.
+      const T copy = v;
       Grow(cap_ * 2);
+      heap_[size_++] = copy;  // Grow always lands on the heap.
+      return;
     }
     data()[size_++] = v;
   }

@@ -9,6 +9,7 @@
 
 #include <cstdint>
 #include <memory>
+#include <vector>
 
 #include "src/common/types.h"
 #include "src/tracing/span.h"
@@ -34,7 +35,8 @@ enum class MsgType : int {
   kGcDone = 13,      // Node -> manager: validation finished.
   kHomeTransfer = 14,  // Old home -> new home: page master + flush state.
   kAck = 15,           // Reliable-delivery acknowledgement (src/net/reliable_channel.h).
-  kCount = 16,
+  kBundle = 16,        // Multi-part coalesced frame (NetworkConfig::coalesce).
+  kCount = 17,
 };
 
 const char* MsgTypeName(MsgType t);
@@ -69,6 +71,15 @@ struct Message {
   int64_t TotalBytes(int64_t header_bytes) const {
     return header_bytes + update_bytes + protocol_bytes;
   }
+};
+
+// Multi-part frame built by the coalescing send queue (NetworkConfig::
+// coalesce): same-tick messages from one source to one destination ride a
+// single kBundle frame, paying one header charge plus a small length prefix
+// per part. The network unpacks the bundle at delivery, so protocol handlers
+// only ever see the constituent messages.
+struct BundlePayload : Payload {
+  std::vector<Message> parts;
 };
 
 }  // namespace hlrc

@@ -43,6 +43,8 @@ const char* MsgTypeName(MsgType t) {
       return "home-transfer";
     case MsgType::kAck:
       return "ack";
+    case MsgType::kBundle:
+      return "bundle";
     case MsgType::kCount:
       break;
   }
@@ -61,6 +63,9 @@ Network::Network(Engine* engine, int nodes, NetworkConfig config)
   if (config_.model_link_contention) {
     link_free_.assign(static_cast<size_t>(mesh_.MaxLinkId()), 0);
   }
+  if (config_.coalesce) {
+    pending_.resize(static_cast<size_t>(nodes) * static_cast<size_t>(nodes));
+  }
 }
 
 Network::~Network() = default;
@@ -76,6 +81,11 @@ void Network::EnableReliableDelivery(const ReliabilityConfig& config) {
   HLRC_CHECK(config.retry_timeout > 0);
   HLRC_CHECK(config.retry_backoff >= 1.0);
   HLRC_CHECK(config.max_retries >= 0);
+  if (config.piggyback_acks) {
+    HLRC_CHECK_MSG(config.ack_delay > 0 && config.ack_delay < config.retry_timeout,
+                   "piggyback ack_delay must be positive and below retry_timeout, or "
+                   "deferred acks would trigger spurious retransmissions");
+  }
   channel_ = std::make_unique<ReliableChannel>(engine_, this, config,
                                                static_cast<int>(handlers_.size()));
 }
@@ -114,6 +124,14 @@ void Network::Send(Message msg) {
   HLRC_CHECK_MSG(static_cast<bool>(handlers_[msg.dst]), "no handler on node %d", msg.dst);
   sent_anything_ = true;
 
+  if (config_.coalesce) {
+    EnqueueCoalesced(std::move(msg));
+    return;
+  }
+  SubmitOne(std::move(msg));
+}
+
+void Network::SubmitOne(Message msg) {
   if (channel_ != nullptr) {
     channel_->SubmitData(std::move(msg));
     return;
@@ -124,8 +142,71 @@ void Network::Send(Message msg) {
   frame->type = msg.type;
   frame->update_bytes = msg.update_bytes;
   frame->protocol_bytes = msg.protocol_bytes;
+  if (msg.type == MsgType::kBundle) {
+    const auto* bundle = static_cast<const BundlePayload*>(msg.payload.get());
+    frame->part_types.reserve(bundle->parts.size());
+    for (const Message& part : bundle->parts) {
+      frame->part_types.push_back(part.type);
+    }
+  }
   frame->msg = std::make_shared<Message>(std::move(msg));
   Transmit(frame, /*retransmit=*/false);
+}
+
+void Network::EnqueueCoalesced(Message msg) {
+  const size_t idx = static_cast<size_t>(msg.src) * handlers_.size() +
+                     static_cast<size_t>(msg.dst);
+  PendingSend& p = pending_[idx];
+  if (!p.flush_scheduled) {
+    // A same-tick flush event: every Send to this pair before the engine
+    // reaches it joins the batch, so the queue adds no simulated latency —
+    // it only merges frames that would have departed back to back anyway.
+    p.flush_scheduled = true;
+    engine_->ScheduleAt(engine_->Now(),
+                        [this, src = msg.src, dst = msg.dst] { FlushPending(src, dst); });
+  }
+  p.msgs.push_back(std::move(msg));
+}
+
+void Network::FlushPending(NodeId src, NodeId dst) {
+  PendingSend& p = pending_[static_cast<size_t>(src) * handlers_.size() +
+                            static_cast<size_t>(dst)];
+  p.flush_scheduled = false;
+  std::vector<Message> batch = std::move(p.msgs);
+  p.msgs.clear();
+  if (batch.empty()) {
+    return;
+  }
+  if (batch.size() == 1) {
+    SubmitOne(std::move(batch[0]));
+    return;
+  }
+  Message bundle;
+  bundle.src = src;
+  bundle.dst = dst;
+  bundle.type = MsgType::kBundle;
+  auto payload = std::make_unique<BundlePayload>();
+  payload->parts.reserve(batch.size());
+  const SimTime now = engine_->Now();
+  for (Message& part : batch) {
+    bundle.update_bytes += part.update_bytes;
+    bundle.protocol_bytes += part.protocol_bytes + config_.part_header_bytes;
+    if (spans_ != nullptr && part.span != kNoSpan) {
+      // The hold is zero simulated time (the flush runs in the same tick),
+      // but the span keeps each part's causal chain connected through the
+      // bundle hop: cause -> coalesce-hold -> receiver service.
+      const SpanId h = spans_->Emit(SpanKind::kCoalesceHold, src, now, now, kNoSpan,
+                                    static_cast<int64_t>(part.type));
+      spans_->AddLink(h, part.span);
+      part.span = h;
+    }
+    payload->parts.push_back(std::move(part));
+  }
+  TrafficStats& s = stats_[src];
+  ++s.frames_coalesced;
+  s.msgs_coalesced += static_cast<int64_t>(payload->parts.size());
+  bundle.payload = std::move(payload);
+  SubmitOne(std::move(bundle));
 }
 
 void Network::Transmit(const std::shared_ptr<WireFrame>& frame, bool retransmit) {
@@ -137,6 +218,13 @@ void Network::Transmit(const std::shared_ptr<WireFrame>& frame, bool retransmit)
   s.update_bytes_sent += frame->update_bytes;
   s.protocol_bytes_sent += frame->protocol_bytes + config_.header_bytes;
   ++s.msgs_by_type[static_cast<int>(frame->type)];
+  // A bundle frame also counts its logical parts under their own types (from
+  // the submit-time type list — the payload may already be consumed when a
+  // late retransmission of an acked-but-lost frame passes through here), so
+  // per-type logical counts are invariant under coalescing.
+  for (const MsgType t : frame->part_types) {
+    ++s.msgs_by_type[static_cast<int>(t)];
+  }
   if (retransmit) {
     ++s.msgs_retransmitted;
     TraceNet(frame->src, TraceEvent::kNetRetransmit, static_cast<int64_t>(frame->type),
@@ -282,6 +370,15 @@ void Network::OnFrameArrival(const std::shared_ptr<WireFrame>& frame) {
 }
 
 void Network::DeliverToHandler(Message msg) {
+  if (msg.type == MsgType::kBundle) {
+    // Unpack in send order; each part re-enters with its own type, so
+    // coverage edges and protocol handlers never observe kBundle.
+    auto* bundle = static_cast<BundlePayload*>(msg.payload.get());
+    for (Message& part : bundle->parts) {
+      DeliverToHandler(std::move(part));
+    }
+    return;
+  }
   if (coverage_ != nullptr) {
     // Delivery edges: which message type followed which at this destination.
     // Node ids stay out of the point itself so the edge space measures
@@ -312,6 +409,9 @@ TrafficStats Network::TotalStats() const {
     total.msgs_dropped_in_net += s.msgs_dropped_in_net;
     total.msgs_duplicated_dropped += s.msgs_duplicated_dropped;
     total.acks_sent += s.acks_sent;
+    total.frames_coalesced += s.frames_coalesced;
+    total.msgs_coalesced += s.msgs_coalesced;
+    total.acks_piggybacked += s.acks_piggybacked;
     for (size_t i = 0; i < s.msgs_by_type.size(); ++i) {
       total.msgs_by_type[i] += s.msgs_by_type[i];
     }

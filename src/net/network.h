@@ -49,6 +49,14 @@ struct NetworkConfig {
   int64_t header_bytes = 32;
   // Model per-link occupancy along the XY route (ablation option).
   bool model_link_contention = false;
+  // Coalescing send queue (--coalesce): same-tick messages to one peer are
+  // packed into a single multi-part kBundle frame, paying one header charge
+  // plus `part_header_bytes` (a length prefix) per part. Default off: the
+  // coalesced wire plane is an opt-in ablation, and the golden summaries pin
+  // the uncoalesced traffic counts.
+  bool coalesce = false;
+  // Per-part length prefix charged inside a bundle.
+  int64_t part_header_bytes = 4;
 };
 
 // Per-node traffic counters (Table 5). Send-side counters count physical
@@ -65,7 +73,16 @@ struct TrafficStats {
   int64_t msgs_retransmitted = 0;      // Retransmissions issued by this node.
   int64_t msgs_dropped_in_net = 0;     // Frames from this node lost or corrupted.
   int64_t msgs_duplicated_dropped = 0; // Duplicate arrivals this node discarded.
-  int64_t acks_sent = 0;               // Acks this node sent for data arrivals.
+  int64_t acks_sent = 0;               // Standalone ack frames this node sent.
+  // Coalescing counters (zero unless NetworkConfig::coalesce /
+  // ReliabilityConfig::piggyback_acks). `msgs_sent` counts physical frames
+  // (a bundle is one frame); these record how many of those frames were
+  // bundles and how many logical messages rode inside them, so
+  // frames = msgs_sent and logical messages = msgs_sent - frames_coalesced
+  // + msgs_coalesced.
+  int64_t frames_coalesced = 0;    // Bundle frames sent by this node.
+  int64_t msgs_coalesced = 0;      // Logical messages packed into bundles.
+  int64_t acks_piggybacked = 0;    // Ack seqs that rode data frames from this node.
 
   int64_t TotalBytesSent() const { return update_bytes_sent + protocol_bytes_sent; }
 };
@@ -133,6 +150,15 @@ class Network {
  private:
   friend class ReliableChannel;
 
+  // Hands one message to the reliable channel or the plain fabric (the
+  // pre-coalescing Send path).
+  void SubmitOne(Message msg);
+
+  // Coalescing send queue (config_.coalesce): appends to the per-(src, dst)
+  // pending batch; the first message of a tick schedules a same-tick flush.
+  void EnqueueCoalesced(Message msg);
+  void FlushPending(NodeId src, NodeId dst);
+
   // Runs one frame through the physical model: NIC serialization, wire time,
   // fault decision. Schedules OnFrameArrival at the delivery time (unless the
   // frame is dropped in the network).
@@ -175,6 +201,13 @@ class Network {
   SpanTracer* spans_ = nullptr;
   std::vector<NodeInstruments> instruments_;
   std::unique_ptr<ReliableChannel> channel_;
+  // Per-(src, dst) pending batch for the coalescing send queue; sized
+  // nodes*nodes lazily on the first coalesced Send.
+  struct PendingSend {
+    std::vector<Message> msgs;
+    bool flush_scheduled = false;
+  };
+  std::vector<PendingSend> pending_;
   bool sent_anything_ = false;
 };
 

@@ -15,7 +15,10 @@ ReliableChannel::ReliableChannel(Engine* engine, Network* network, ReliabilityCo
       config_(config),
       nodes_(nodes),
       senders_(static_cast<size_t>(nodes) * static_cast<size_t>(nodes)),
-      receivers_(static_cast<size_t>(nodes) * static_cast<size_t>(nodes)) {}
+      receivers_(static_cast<size_t>(nodes) * static_cast<size_t>(nodes)),
+      ackers_(config_.piggyback_acks
+                  ? static_cast<size_t>(nodes) * static_cast<size_t>(nodes)
+                  : 0) {}
 
 void ReliableChannel::SubmitData(Message msg) {
   SenderPair& sp = senders_[PairIndex(msg.src, msg.dst)];
@@ -26,6 +29,31 @@ void ReliableChannel::SubmitData(Message msg) {
   frame->update_bytes = msg.update_bytes;
   frame->protocol_bytes = msg.protocol_bytes;
   frame->seq = sp.next_seq++;
+  if (msg.type == MsgType::kBundle) {
+    const auto* bundle = static_cast<const BundlePayload*>(msg.payload.get());
+    frame->part_types.reserve(bundle->parts.size());
+    for (const Message& part : bundle->parts) {
+      frame->part_types.push_back(part.type);
+    }
+  }
+  if (config_.piggyback_acks) {
+    // Any acks this sender owes the destination ride along: the seqs travel
+    // in the data frame's header extension and stay attached across
+    // retransmissions (ProcessAcks is idempotent on the receiver).
+    AckerPair& ap = ackers_[PairIndex(msg.src, msg.dst)];
+    if (!ap.pending.empty()) {
+      frame->ack_seqs = std::move(ap.pending);
+      ap.pending.clear();
+      frame->protocol_bytes +=
+          config_.ack_bytes * static_cast<int64_t>(frame->ack_seqs.size());
+      network_->stats_[msg.src].acks_piggybacked +=
+          static_cast<int64_t>(frame->ack_seqs.size());
+      if (ap.deadline != Engine::kInvalidEvent) {
+        engine_->Cancel(ap.deadline);
+        ap.deadline = Engine::kInvalidEvent;
+      }
+    }
+  }
   frame->msg = std::make_shared<Message>(std::move(msg));
   Outstanding& o = sp.unacked[frame->seq];
   o.frame = frame;
@@ -87,35 +115,91 @@ void ReliableChannel::SendAck(const WireFrame& data_frame) {
   ack->type = MsgType::kAck;
   ack->protocol_bytes = config_.ack_bytes;
   ack->is_ack = true;
-  ack->ack_seq = data_frame.seq;
+  ack->ack_seqs.push_back(data_frame.seq);
   ++network_->stats_[data_frame.dst].acks_sent;
   network_->Transmit(ack, /*retransmit=*/false);
 }
 
-void ReliableChannel::OnArrival(const std::shared_ptr<WireFrame>& frame) {
-  if (frame->is_ack) {
-    // The ack travels receiver -> sender, so the acked pair is the reverse.
-    SenderPair& sp = senders_[PairIndex(frame->dst, frame->src)];
-    auto it = sp.unacked.find(frame->ack_seq);
-    if (it != sp.unacked.end()) {
-      engine_->Cancel(it->second.timer);
-      if (Network::NodeInstruments* ins = network_->InstrumentsFor(frame->dst)) {
-        --*ins->retransmit_backlog;
-        if (it->second.attempts > 1) {
-          // Only frames that actually needed a retransmission: the tail the
-          // retry machinery adds on top of the clean round trip.
-          ins->retransmit_ack_ns->Record(engine_->Now() - it->second.first_submit);
-        }
-      }
-      sp.unacked.erase(it);
+void ReliableChannel::ProcessAcks(const WireFrame& frame) {
+  if (frame.ack_seqs.empty()) {
+    return;
+  }
+  // The acks travel receiver -> sender, so the acked pair is the reverse of
+  // the carrying frame's direction (true for standalone acks and for seqs
+  // piggybacked on a data frame alike).
+  SenderPair& sp = senders_[PairIndex(frame.dst, frame.src)];
+  for (const uint64_t seq : frame.ack_seqs) {
+    auto it = sp.unacked.find(seq);
+    if (it == sp.unacked.end()) {
+      // Already retired: a duplicate ack (re-ack after a retransmission, or
+      // a piggybacked copy riding a retransmitted data frame) must be a
+      // no-op — in particular it must not decrement the backlog again or
+      // record a second retransmit-latency sample.
+      continue;
     }
-    return;  // Acks for already-acked frames (dup or re-ack) are idempotent.
+    engine_->Cancel(it->second.timer);
+    if (Network::NodeInstruments* ins = network_->InstrumentsFor(frame.dst)) {
+      --*ins->retransmit_backlog;
+      if (it->second.attempts > 1) {
+        // Only frames that actually needed a retransmission: the tail the
+        // retry machinery adds on top of the clean round trip. first_submit
+        // is a past simulated instant, so the sample is never negative.
+        ins->retransmit_ack_ns->Record(engine_->Now() - it->second.first_submit);
+      }
+    }
+    sp.unacked.erase(it);
+  }
+}
+
+void ReliableChannel::QueueAck(const WireFrame& data_frame) {
+  AckerPair& ap = ackers_[PairIndex(data_frame.dst, data_frame.src)];
+  for (const uint64_t seq : ap.pending) {
+    if (seq == data_frame.seq) {
+      return;  // A re-arrival while its ack is still owed: one ack suffices.
+    }
+  }
+  ap.pending.push_back(data_frame.seq);
+  if (ap.deadline == Engine::kInvalidEvent) {
+    ap.deadline = engine_->Schedule(
+        config_.ack_delay, [this, acker = data_frame.dst, peer = data_frame.src] {
+          FlushAcks(acker, peer);
+        });
+  }
+}
+
+void ReliableChannel::FlushAcks(NodeId acker, NodeId peer) {
+  AckerPair& ap = ackers_[PairIndex(acker, peer)];
+  ap.deadline = Engine::kInvalidEvent;
+  if (ap.pending.empty()) {
+    return;  // Everything piggybacked in the meantime.
+  }
+  auto ack = std::make_shared<WireFrame>();
+  ack->src = acker;
+  ack->dst = peer;
+  ack->type = MsgType::kAck;
+  ack->is_ack = true;
+  ack->ack_seqs = std::move(ap.pending);
+  ap.pending.clear();
+  ack->protocol_bytes = config_.ack_bytes * static_cast<int64_t>(ack->ack_seqs.size());
+  ++network_->stats_[acker].acks_sent;
+  network_->Transmit(ack, /*retransmit=*/false);
+}
+
+void ReliableChannel::OnArrival(const std::shared_ptr<WireFrame>& frame) {
+  ProcessAcks(*frame);
+  if (frame->is_ack) {
+    return;
   }
 
   // Every physical data arrival is (re-)acked, duplicates included: a
   // duplicate usually means the original ack was lost and the sender is still
-  // retransmitting.
-  SendAck(*frame);
+  // retransmitting. With piggybacking the ack is merely deferred — onto the
+  // next data frame to the sender, or the deadline's standalone ack.
+  if (config_.piggyback_acks) {
+    QueueAck(*frame);
+  } else {
+    SendAck(*frame);
+  }
 
   ReceiverPair& rp = receivers_[PairIndex(frame->src, frame->dst)];
   if (frame->seq < rp.next_expected || rp.held.count(frame->seq) != 0) {

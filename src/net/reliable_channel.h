@@ -52,6 +52,15 @@ struct ReliabilityConfig {
   // Protocol bytes carried by an ack (sequence number); headers are added by
   // the network like any other message.
   int64_t ack_bytes = 8;
+  // Ack piggybacking (--coalesce): instead of a standalone ack frame per data
+  // arrival, owed ack seqs ride the next data frame to that peer; a deadline
+  // timer flushes a standalone (possibly multi-seq) ack when no data frame
+  // materializes in time. `ack_delay` must exceed the typical request
+  // turnaround (receive interrupt 690 us + service) so replies can carry the
+  // request's ack, while staying well below `retry_timeout`, or deferring
+  // the ack would itself trigger spurious retransmissions.
+  bool piggyback_acks = false;
+  SimTime ack_delay = Micros(1500);
 };
 
 // One physical transmission unit. Data frames reference the original Message
@@ -66,7 +75,14 @@ struct WireFrame {
   int64_t protocol_bytes = 0;
   uint64_t seq = 0;
   bool is_ack = false;
-  uint64_t ack_seq = 0;  // Valid when is_ack.
+  // Ack seqs carried by this frame: the single seq of a standalone ack, or
+  // any number of piggybacked seqs riding a data frame (acking the reverse
+  // direction of this frame's pair).
+  std::vector<uint64_t> ack_seqs;
+  // Logical part types of a kBundle frame, recorded at submit time so
+  // retransmission statistics never touch the (possibly already-consumed)
+  // payload. Empty for single-message frames.
+  std::vector<MsgType> part_types;
   // Wire span of the latest physical transmission that reached the receiving
   // NIC (span tracing; kNoSpan when tracing is off or the copy was lost).
   SpanId last_wire_span = kNoSpan;
@@ -104,6 +120,12 @@ class ReliableChannel {
     uint64_t next_expected = 0;
     std::map<uint64_t, Message> held;  // Out-of-order arrivals awaiting a gap fill.
   };
+  // Acks node `a` owes node `b` (for data b->a), indexed PairIndex(a, b).
+  // Only populated when config_.piggyback_acks.
+  struct AckerPair {
+    std::vector<uint64_t> pending;  // Seqs awaiting an ack, arrival order.
+    Engine::EventId deadline = Engine::kInvalidEvent;
+  };
 
   size_t PairIndex(NodeId src, NodeId dst) const {
     return static_cast<size_t>(src) * static_cast<size_t>(nodes_) + static_cast<size_t>(dst);
@@ -113,12 +135,24 @@ class ReliableChannel {
   void OnTimeout(NodeId src, NodeId dst, uint64_t seq);
   void SendAck(const WireFrame& data_frame);
 
+  // Retires every seq in `frame->ack_seqs` exactly once: the unacked-map
+  // erase is the idempotence guard, so duplicate acks (standalone re-acks,
+  // piggybacked copies riding a retransmission) neither double-count the
+  // backlog nor record a second — or negative — retransmit-latency sample.
+  void ProcessAcks(const WireFrame& frame);
+
+  // Piggyback path: records the owed ack and arms the deadline timer.
+  void QueueAck(const WireFrame& data_frame);
+  // Deadline fallback: sends every still-owed seq as one standalone ack.
+  void FlushAcks(NodeId acker, NodeId peer);
+
   Engine* engine_;
   Network* network_;
   ReliabilityConfig config_;
   int nodes_;
   std::vector<SenderPair> senders_;     // Indexed by PairIndex(src, dst).
   std::vector<ReceiverPair> receivers_; // Indexed by PairIndex(src, dst).
+  std::vector<AckerPair> ackers_;       // Indexed by PairIndex(acker, peer).
 };
 
 }  // namespace hlrc

@@ -236,7 +236,7 @@ Task<void> HlrcProtocol::ResolveFault(PageId page, bool write) {
         FaultWait& done_fw = fault_waiting_[page];
         const bool transfer_satisfied = done_fw.already_installed;
         if (!transfer_satisfied) {
-          InstallPageData(page, done_fw.data);
+          InstallPageData(page, *done_fw.data);
         }
         fault_waiting_.erase(page);
         if (transfer_satisfied || RequiredEpoch(page) == epoch) {
@@ -439,14 +439,19 @@ void HlrcProtocol::HandlePageRequest(PageId page, NodeId requester, Required req
       PendingReq{requester, std::move(required), active_span_, engine()->Now()});
 }
 
-void HlrcProtocol::SendPageReply(PageId page, NodeId requester) {
+HlrcProtocol::PageSnapshot HlrcProtocol::SnapshotPage(PageId page) {
+  const std::byte* src = pages().PageData(page);
+  return std::make_shared<const std::vector<std::byte>>(src, src + pages().page_size());
+}
+
+void HlrcProtocol::SendPageReply(PageId page, NodeId requester, PageSnapshot snapshot) {
   Trace(TraceEvent::kPageServe, page, requester);
   HLRC_TRACE("[%lld] home %d: page reply page=%d -> node %d", (long long)engine()->Now(),
              self(), page, requester);
   auto payload = std::make_unique<HomePageReplyPayload>();
   payload->page = page;
   payload->home = self();
-  payload->data.assign(pages().PageData(page), pages().PageData(page) + pages().page_size());
+  payload->data = snapshot != nullptr ? std::move(snapshot) : SnapshotPage(page);
   Send(requester, MsgType::kPageReply, pages().page_size(), 16, std::move(payload));
 }
 
@@ -456,6 +461,14 @@ void HlrcProtocol::ServePendingRequests(PageId page) {
     return;
   }
   auto& reqs = it->second;
+  // Request combining (--coalesce): every parked request this pass satisfies
+  // is answered from one shared immutable snapshot — the master copy cannot
+  // change between replies (we are inside one service handler), so copying it
+  // per requester is pure overhead. Off: one private copy per reply, matching
+  // the golden runs byte for byte.
+  const bool combine = env().options->coalesce;
+  PageSnapshot snapshot;
+  int64_t shared_replies = 0;
   for (auto rit = reqs.begin(); rit != reqs.end();) {
     if (AppliedSatisfies(page, rit->required)) {
       // The stretch this request sat parked waiting for in-flight diffs:
@@ -464,11 +477,22 @@ void HlrcProtocol::ServePendingRequests(PageId page) {
       const SpanId hw = SpanEmit(SpanKind::kHomeWait, rit->parked_at, rit->span, page,
                                  rit->requester);
       SpanCause sc(this, hw);
-      SendPageReply(page, rit->requester);
+      if (combine) {
+        if (snapshot == nullptr) {
+          snapshot = SnapshotPage(page);
+        }
+        ++shared_replies;
+        SendPageReply(page, rit->requester, snapshot);
+      } else {
+        SendPageReply(page, rit->requester);
+      }
       rit = reqs.erase(rit);
     } else {
       ++rit;
     }
+  }
+  if (shared_replies >= 2) {
+    stats_.page_replies_combined += shared_replies;
   }
   if (reqs.empty()) {
     pending_reqs_.erase(it);

@@ -43,9 +43,13 @@ class HlrcProtocol : public ProtocolNode {
   virtual SimTime WriteCaptureCost() const { return costs().TwinCost(pages().page_size()); }
 
   using Required = std::vector<std::pair<NodeId, uint32_t>>;
+  // Immutable page snapshot shared between replies (request combining) and
+  // with the delivered payload — same discipline as the interval log's
+  // shared immutable batches.
+  using PageSnapshot = std::shared_ptr<const std::vector<std::byte>>;
 
   struct FaultWait {
-    std::vector<std::byte> data;  // Page contents from the home's reply.
+    PageSnapshot data;  // Page contents from the home's reply.
     // Set when a home transfer satisfied the fetch and already installed the
     // master (with twin rebase): the fetch path must not install again.
     bool already_installed = false;
@@ -86,7 +90,10 @@ class HlrcProtocol : public ProtocolNode {
   void HandleHomeTransfer(PageId page, NodeId old_home, const std::vector<std::byte>& data,
                           const std::vector<uint32_t>& applied);
   void HandlePageRequest(PageId page, NodeId requester, Required required);
-  void SendPageReply(PageId page, NodeId requester);
+  // `snapshot` is null for a one-off reply (a fresh copy is taken); request
+  // combining passes one shared snapshot to every reply of the same pass.
+  void SendPageReply(PageId page, NodeId requester, PageSnapshot snapshot = nullptr);
+  PageSnapshot SnapshotPage(PageId page);
   void ServePendingRequests(PageId page);
   void WakeLocalFaultIfReady(PageId page);
   void InstallPageData(PageId page, const std::vector<std::byte>& data);
@@ -132,7 +139,8 @@ struct HomePageRequestPayload : Payload {
 struct HomePageReplyPayload : Payload {
   PageId page;
   NodeId home;  // The actual serving home (updates the requester's override).
-  std::vector<std::byte> data;
+  // Immutable: combined replies to concurrent requesters share one snapshot.
+  std::shared_ptr<const std::vector<std::byte>> data;
 };
 
 struct HomeTransferPayload : Payload {

@@ -85,6 +85,17 @@ struct ProtocolOptions {
   int64_t gc_threshold_bytes = 4ll << 20;
   // Diff granularity in bytes (4 or 8).
   int diff_word_bytes = 8;
+  // Coalesced wire plane (--coalesce), protocol half: request combining at
+  // the home — concurrent fetches for the same page version parked behind one
+  // in-flight request are all answered from one shared immutable snapshot.
+  // Default off: golden summaries pin the uncombined behavior.
+  bool coalesce = false;
+  // Combining barrier tree (--barrier-arity=N, N >= 2): barrier enters fan in
+  // and releases fan out over an N-ary tree rooted at the manager instead of
+  // the flat all-to-manager pattern, so the manager NIC serializes O(arity)
+  // frames per barrier instead of O(nodes). 0 (or 1) keeps the paper's flat
+  // centralized barrier.
+  int barrier_arity = 0;
   // Test-only fault seeding (see TestMutation above). Never set outside the
   // checker; kNone leaves every protocol untouched.
   TestMutation mutation = TestMutation::kNone;

@@ -596,15 +596,25 @@ Task<void> ProtocolNode::Barrier(BarrierId barrier) {
   HLRC_CHECK(barrier_waiting_ == nullptr);
   barrier_waiting_ = std::make_unique<Completion>(env_.engine);
 
-  IntervalBatch recs = PackIntervalsFor(sent_to_manager_vt_);
-  co_await ChargeCpu(costs().wn_pack * static_cast<SimTime>(recs.size()),
-                     BusyCat::kWriteNotice);
+  // In tree mode the pack happens once per subtree at forward-up time (own
+  // and child records together), so the app-side pack is skipped here.
+  IntervalBatch recs;
+  if (!TreeBarrier()) {
+    recs = PackIntervalsFor(sent_to_manager_vt_);
+    co_await ChargeCpu(costs().wn_pack * static_cast<SimTime>(recs.size()),
+                       BusyCat::kWriteNotice);
+  }
   const bool pressure =
       !home_based() && ProtocolMemoryBytes() > env_.options->gc_threshold_bytes;
 
   {
     SpanCause sc(this, bar_span);
-    if (env_.self == kBarrierManager) {
+    if (TreeBarrier()) {
+      std::vector<BarrierArrival> self_arrival(1);
+      self_arrival[0].node = env_.self;
+      self_arrival[0].vt = vt_;
+      TreeBarrierAccumulate(barrier, std::move(self_arrival), {}, pressure);
+    } else if (env_.self == kBarrierManager) {
       HandleBarrierEnter(barrier, env_.self, vt_, std::move(recs), pressure);
     } else {
       int64_t bytes = 16 + vt_.EncodedSize();
@@ -662,6 +672,100 @@ void ProtocolNode::HandleBarrierEnter(BarrierId barrier, NodeId node, const Vect
   });
 }
 
+int ProtocolNode::TreeSubtreeSize(NodeId n) const {
+  int size = 1;
+  const NodeId first = TreeFirstChild(n);
+  for (NodeId c = first;
+       c < first + env_.options->barrier_arity && c < env_.nodes; ++c) {
+    size += TreeSubtreeSize(c);
+  }
+  return size;
+}
+
+void ProtocolNode::TreeBarrierAccumulate(BarrierId barrier,
+                                         std::vector<BarrierArrival> arrivals,
+                                         IntervalBatch intervals, bool mem_pressure) {
+  BarrierTreeState& ts = barrier_tree_[barrier];
+  if (ts.gather_span == kNoSpan) {
+    ts.gather_span = SpanBegin(SpanKind::kBarrierGather, barrier);
+  }
+  // Every arrival batch (own or a child subtree's) is a causal input to this
+  // node's slice of the gather.
+  SpanLink(ts.gather_span, active_span_);
+  ts.mem_pressure = ts.mem_pressure || mem_pressure;
+  const SimTime cost = costs().barrier_handling + ApplyIntervals(intervals);
+  for (BarrierArrival& a : arrivals) {
+    vt_.MergeWith(a.vt);
+    ts.arrivals.push_back(std::move(a));
+  }
+  env_.cpu->RunService(cost, BusyCat::kWriteNotice,
+                       [this, barrier] { TreeMaybeForwardUp(barrier); });
+}
+
+void ProtocolNode::TreeMaybeForwardUp(BarrierId barrier) {
+  auto it = barrier_tree_.find(barrier);
+  if (it == barrier_tree_.end()) {
+    return;
+  }
+  BarrierTreeState& ts = it->second;
+  if (ts.launched ||
+      static_cast<int>(ts.arrivals.size()) < TreeSubtreeSize(env_.self)) {
+    return;
+  }
+  ts.launched = true;
+
+  if (env_.self == kBarrierManager) {
+    // Root: the whole machine has arrived. Build the flat manager state from
+    // the accumulated pairs so BarrierPreRelease (homeless GC) and
+    // PackBarrierReleaseFor work unchanged, then run the normal release path
+    // (which fans out to the root's direct children only in tree mode).
+    BarrierManagerState& bm = barrier_mgr_[barrier];
+    bm.arrival_vt.assign(static_cast<size_t>(env_.nodes), VectorClock(env_.nodes));
+    bm.present.assign(static_cast<size_t>(env_.nodes), false);
+    for (const BarrierArrival& a : ts.arrivals) {
+      HLRC_CHECK(!bm.present[static_cast<size_t>(a.node)]);
+      bm.present[static_cast<size_t>(a.node)] = true;
+      bm.arrival_vt[static_cast<size_t>(a.node)] = a.vt;
+    }
+    bm.arrived = env_.nodes;
+    bm.mem_pressure = ts.mem_pressure;
+    bm.launched = true;
+    bm.gather_span = ts.gather_span;
+    barrier_tree_.erase(it);
+    BarrierAllArrived(barrier);
+    return;
+  }
+
+  // Interior node or leaf: one combined enter carries the whole subtree —
+  // its (node, arrival-vt) pairs plus every interval record the chain above
+  // might be missing (children's records were applied into this node's log,
+  // so one pack against sent_to_manager_vt_ covers own and child intervals).
+  IntervalBatch recs = PackIntervalsFor(sent_to_manager_vt_);
+  const SimTime cost = costs().wn_pack * static_cast<SimTime>(recs.size());
+  int64_t bytes = 16 + vt_.EncodedSize();
+  for (const IntervalPtr& rec : recs) {
+    bytes += IntervalBytes(*rec);
+  }
+  for (const BarrierArrival& a : ts.arrivals) {
+    bytes += 4 + a.vt.EncodedSize();
+  }
+  auto payload = std::make_unique<BarrierEnterPayload>();
+  payload->barrier = barrier;
+  payload->node = env_.self;
+  payload->vt = vt_;
+  payload->intervals = std::move(recs);
+  payload->mem_pressure = ts.mem_pressure;
+  // Copy, not move: the arrival vts are needed again at release time to pack
+  // each direct child's release forward.
+  payload->arrivals = ts.arrivals;
+  SpanEnd(ts.gather_span);
+  {
+    SpanCause sc(this, ts.gather_span);
+    Send(TreeParent(env_.self), MsgType::kBarrierEnter, 0, bytes, std::move(payload));
+  }
+  env_.cpu->RunService(cost, BusyCat::kWriteNotice, [] {});
+}
+
 void ProtocolNode::BarrierAllArrived(BarrierId barrier) {
   const bool pressure = barrier_mgr_[barrier].mem_pressure;
   SpawnDetached([](ProtocolNode* self, BarrierId b, bool mem) -> Task<void> {
@@ -688,11 +792,26 @@ void ProtocolNode::SendBarrierReleases(BarrierId barrier) {
   SpanEnd(bm.gather_span);
   SpanCause sc(this, bm.gather_span);  // Releases fan out from the gather.
 
-  SimTime cost = 0;
-  for (NodeId n = 0; n < env_.nodes; ++n) {
-    if (n == env_.self) {
-      continue;
+  // Flat barrier: the manager releases every other node directly. Tree mode:
+  // only its direct children — each interior node re-packs and forwards to
+  // its own children in HandleBarrierRelease.
+  std::vector<NodeId> targets;
+  if (TreeBarrier()) {
+    const NodeId first = TreeFirstChild(env_.self);
+    for (NodeId c = first;
+         c < first + env_.options->barrier_arity && c < env_.nodes; ++c) {
+      targets.push_back(c);
     }
+  } else {
+    for (NodeId n = 0; n < env_.nodes; ++n) {
+      if (n != env_.self) {
+        targets.push_back(n);
+      }
+    }
+  }
+
+  SimTime cost = 0;
+  for (const NodeId n : targets) {
     // Handle copies only: each receiver's release payload aliases the same
     // underlying records (the copy-free fan-out this PR is about).
     IntervalBatch recs = PackIntervalsFor(bm.arrival_vt[static_cast<size_t>(n)]);
@@ -709,20 +828,53 @@ void ProtocolNode::SendBarrierReleases(BarrierId barrier) {
   }
   // The manager releases itself once the send-side work is charged.
   env_.cpu->RunService(cost, BusyCat::kWriteNotice,
-                       [this, cause = bm.gather_span] {
+                       [this, barrier, cause = bm.gather_span] {
                          SpanCause sc2(this, cause);
-                         HandleBarrierRelease({}, vt_);
+                         HandleBarrierRelease(barrier, {}, vt_);
                        });
 }
 
-void ProtocolNode::HandleBarrierRelease(IntervalBatch intervals, const VectorClock& max_vt) {
+void ProtocolNode::HandleBarrierRelease(BarrierId barrier, IntervalBatch intervals,
+                                        const VectorClock& max_vt) {
   Cover(CoverageObserver::Domain::kSyncEpoch, 1,
         CoverageBucket(intervals.size()));  // Sync kind 1: barrier release.
-  const SimTime cost = ApplyIntervals(intervals);
+  SimTime cost = ApplyIntervals(intervals);
   vt_.MergeWith(max_vt);
+  if (TreeBarrier() && env_.self != kBarrierManager) {
+    // Fan the release down: after applying the parent's batch this node's
+    // log holds every interval record of the epoch, so packing against a
+    // direct child's recorded arrival vt yields exactly the content the flat
+    // manager would have sent that child. Must run before the truncation
+    // charged below.
+    auto it = barrier_tree_.find(barrier);
+    HLRC_CHECK(it != barrier_tree_.end());
+    const NodeId first = TreeFirstChild(env_.self);
+    for (NodeId c = first;
+         c < first + env_.options->barrier_arity && c < env_.nodes; ++c) {
+      const VectorClock* cvt = nullptr;
+      for (const BarrierArrival& a : it->second.arrivals) {
+        if (a.node == c) {
+          cvt = &a.vt;
+          break;
+        }
+      }
+      HLRC_CHECK(cvt != nullptr);
+      IntervalBatch recs = PackIntervalsFor(*cvt);
+      cost += costs().barrier_handling + costs().wn_pack * static_cast<SimTime>(recs.size());
+      int64_t bytes = 16 + vt_.EncodedSize();
+      for (const IntervalPtr& rec : recs) {
+        bytes += IntervalBytes(*rec);
+      }
+      auto payload = std::make_unique<BarrierReleasePayload>();
+      payload->barrier = barrier;
+      payload->intervals = std::move(recs);
+      payload->max_vt = vt_;
+      Send(c, MsgType::kBarrierRelease, 0, bytes, std::move(payload));
+    }
+  }
   const SpanId cause = active_span_;
   const SimTime t0 = engine()->Now();
-  env_.cpu->RunService(cost, BusyCat::kWriteNotice, [this, cause, t0] {
+  env_.cpu->RunService(cost, BusyCat::kWriteNotice, [this, barrier, cause, t0] {
     SpanEmit(SpanKind::kWnApply, t0, cause);
     // Everything known at this barrier is now known everywhere: truncate the
     // interval log (diffs and per-page state are managed by the subclass).
@@ -731,6 +883,7 @@ void ProtocolNode::HandleBarrierRelease(IntervalBatch intervals, const VectorClo
     interval_log_.Clear();
     known_interval_bytes_ = 0;
     sent_to_manager_vt_ = vt_;
+    barrier_tree_.erase(barrier);
     OnBarrierReleased();
     HLRC_CHECK(barrier_waiting_ != nullptr);
     barrier_waiting_->Complete();
@@ -785,6 +938,19 @@ void ProtocolNode::HandleMessage(Message msg) {
     }
     case MsgType::kBarrierEnter: {
       auto* p = static_cast<BarrierEnterPayload*>(msg.payload.get());
+      if (!p->arrivals.empty()) {
+        // Combined enter from a barrier-tree child: fold the whole subtree
+        // into this node's fan-in state.
+        Serve(/*on_coproc=*/false, /*interrupt=*/true, 0, BusyCat::kService,
+              [this, cause, t_arrive, barrier = p->barrier,
+               arrivals = std::move(p->arrivals), intervals = std::move(p->intervals),
+               mem = p->mem_pressure]() mutable {
+                SpanCause sc(this, SpanEmit(SpanKind::kService, t_arrive, cause, barrier));
+                TreeBarrierAccumulate(barrier, std::move(arrivals),
+                                      std::move(intervals), mem);
+              });
+        return;
+      }
       Serve(/*on_coproc=*/false, /*interrupt=*/true, 0, BusyCat::kService,
             [this, cause, t_arrive, barrier = p->barrier, node = p->node, vt = p->vt,
              intervals = std::move(p->intervals), mem = p->mem_pressure]() mutable {
@@ -796,10 +962,10 @@ void ProtocolNode::HandleMessage(Message msg) {
     case MsgType::kBarrierRelease: {
       auto* p = static_cast<BarrierReleasePayload*>(msg.payload.get());
       Serve(/*on_coproc=*/false, /*interrupt=*/false, 0, BusyCat::kService,
-            [this, cause, t_arrive, intervals = std::move(p->intervals),
-             max_vt = p->max_vt]() mutable {
+            [this, cause, t_arrive, barrier = p->barrier,
+             intervals = std::move(p->intervals), max_vt = p->max_vt]() mutable {
               SpanCause sc(this, SpanEmit(SpanKind::kService, t_arrive, cause));
-              HandleBarrierRelease(std::move(intervals), max_vt);
+              HandleBarrierRelease(barrier, std::move(intervals), max_vt);
             });
       return;
     }

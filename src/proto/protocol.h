@@ -53,6 +53,10 @@ struct ProtoStats {
   int64_t write_notices_received = 0;
   int64_t pages_invalidated = 0;
   int64_t gc_runs = 0;
+  // Request combining (ProtocolOptions::coalesce): page replies served from a
+  // snapshot shared with at least one other parked requester. Not part of the
+  // golden summary (zero with coalescing off).
+  int64_t page_replies_combined = 0;
 
   WaitBreakdown waits;
 
@@ -64,6 +68,13 @@ struct ProtoStats {
   // table6_memory can attribute metadata overhead. Not part of the run
   // summary or golden output.
   int64_t interval_meta_highwater = 0;
+};
+
+// One node's barrier arrival — its id and the vector time it arrived with.
+// The combining barrier tree ships whole subtrees of these in one enter.
+struct BarrierArrival {
+  NodeId node = kInvalidNode;
+  VectorClock vt;
 };
 
 class ProtocolNode {
@@ -457,11 +468,39 @@ class ProtocolNode {
     SpanId gather_span = kNoSpan;
   };
 
+  // Combining barrier tree (ProtocolOptions::barrier_arity >= 2): per-node,
+  // per-barrier fan-in state. A node accumulates its own arrival plus its
+  // children's combined enters; once the whole subtree has arrived it sends
+  // one combined enter upward (the root instead builds BarrierManagerState
+  // and runs the flat release machinery toward its direct children).
+  struct BarrierTreeState {
+    std::vector<BarrierArrival> arrivals;  // Subtree (node, arrival-vt) pairs.
+    bool mem_pressure = false;
+    bool launched = false;  // Combined enter already sent / root launched.
+    SpanId gather_span = kNoSpan;
+  };
+
+  bool TreeBarrier() const { return env_.options->barrier_arity >= 2; }
+  NodeId TreeParent(NodeId n) const {
+    return (n - 1) / env_.options->barrier_arity;
+  }
+  NodeId TreeFirstChild(NodeId n) const {
+    return n * env_.options->barrier_arity + 1;
+  }
+  int TreeSubtreeSize(NodeId n) const;
+
+  // Folds `arrivals` (and their interval records) into this node's fan-in
+  // state; forwards the combined enter upward once the subtree is complete.
+  void TreeBarrierAccumulate(BarrierId barrier, std::vector<BarrierArrival> arrivals,
+                             IntervalBatch intervals, bool mem_pressure);
+  void TreeMaybeForwardUp(BarrierId barrier);
+
   void HandleBarrierEnter(BarrierId barrier, NodeId node, const VectorClock& nvt,
                           IntervalBatch intervals, bool mem_pressure);
   void BarrierAllArrived(BarrierId barrier);
   void SendBarrierReleases(BarrierId barrier);
-  void HandleBarrierRelease(IntervalBatch intervals, const VectorClock& max_vt);
+  void HandleBarrierRelease(BarrierId barrier, IntervalBatch intervals,
+                            const VectorClock& max_vt);
 
   Env env_;
 
@@ -469,6 +508,7 @@ class ProtocolNode {
   std::unordered_map<LockId, LockManagerState> lock_managers_;
 
   std::unordered_map<BarrierId, BarrierManagerState> barrier_mgr_;
+  std::unordered_map<BarrierId, BarrierTreeState> barrier_tree_;
   std::unique_ptr<Completion> barrier_waiting_;
   VectorClock sent_to_manager_vt_;
 
@@ -509,6 +549,9 @@ struct BarrierEnterPayload : Payload {
   VectorClock vt;
   IntervalBatch intervals;
   bool mem_pressure = false;
+  // Combining barrier tree only: every (node, arrival-vt) pair of the
+  // sender's subtree, the sender included. Empty for a flat enter.
+  std::vector<BarrierArrival> arrivals;
 };
 
 struct BarrierReleasePayload : Payload {

@@ -385,6 +385,7 @@ NodeReport RunReport::Totals() const {
     total.proto.write_notices_received += r.proto.write_notices_received;
     total.proto.pages_invalidated += r.proto.pages_invalidated;
     total.proto.gc_runs += r.proto.gc_runs;
+    total.proto.page_replies_combined += r.proto.page_replies_combined;
     total.proto.interval_meta_highwater += r.proto.interval_meta_highwater;
     total.proto_mem_highwater += r.proto_mem_highwater;
     total.traffic.msgs_sent += r.traffic.msgs_sent;
@@ -395,6 +396,9 @@ NodeReport RunReport::Totals() const {
     total.traffic.msgs_dropped_in_net += r.traffic.msgs_dropped_in_net;
     total.traffic.msgs_duplicated_dropped += r.traffic.msgs_duplicated_dropped;
     total.traffic.acks_sent += r.traffic.acks_sent;
+    total.traffic.frames_coalesced += r.traffic.frames_coalesced;
+    total.traffic.msgs_coalesced += r.traffic.msgs_coalesced;
+    total.traffic.acks_piggybacked += r.traffic.acks_piggybacked;
     for (size_t i = 0; i < r.traffic.msgs_by_type.size(); ++i) {
       total.traffic.msgs_by_type[i] += r.traffic.msgs_by_type[i];
     }

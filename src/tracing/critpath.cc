@@ -33,6 +33,7 @@ const char* CritCatName(CritCat c) {
 CritCat CategoryOf(SpanKind k) {
   switch (k) {
     case SpanKind::kQueue:
+    case SpanKind::kCoalesceHold:
       return CritCat::kQueueing;
     case SpanKind::kWire:
       return CritCat::kWire;

@@ -38,6 +38,8 @@ const char* SpanKindName(SpanKind k) {
       return "lock-hold";
     case SpanKind::kBarrierGather:
       return "barrier-gather";
+    case SpanKind::kCoalesceHold:
+      return "coalesce-hold";
     case SpanKind::kCount:
       break;
   }

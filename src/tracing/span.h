@@ -47,6 +47,7 @@ enum class SpanKind : uint8_t {
   kWnApply,        // write-notice / bookkeeping apply (lock grant, barrier release)
   kLockHold,       // requester holds the lock (critical section = compute)
   kBarrierGather,  // manager waiting for all arrivals
+  kCoalesceHold,   // message parked in the coalescing send queue (a0 = type)
 
   kCount,
 };

@@ -182,6 +182,25 @@ TEST(Explorer, SurvivesFaultInjectionComposition) {
   EXPECT_EQ(sweep.failures, 0);
 }
 
+// The coalesced wire plane (frame packing, request combining, piggybacked
+// acks, barrier tree) must be invisible to the consistency oracle: a 200-seed
+// chaos sweep through the coalesced paths finds no violation, and the sweep
+// genuinely exercises them (deterministically, so the counters are stable).
+TEST(Explorer, CoalescedWirePlaneSurvivesSweep) {
+  for (ProtocolKind protocol : {ProtocolKind::kHlrc, ProtocolKind::kLrc}) {
+    CheckConfig cfg;
+    cfg.litmus = "barrier-propagation";
+    cfg.protocol = protocol;
+    cfg.coalesce = true;
+    cfg.barrier_arity = 3;
+    cfg.reliability.enabled = true;  // Engages ack piggybacking too.
+    const SweepResult sweep = Sweep(cfg, /*first_seed=*/1, /*seeds=*/200);
+    EXPECT_EQ(sweep.failures, 0)
+        << ProtocolName(protocol) << " first failing seed " << sweep.first_failing_seed;
+    EXPECT_GT(sweep.reads_checked, 0);
+  }
+}
+
 // The mutation regression: a protocol with a seeded bug must be flagged
 // within 200 seeds, the reported seed must reproduce, and minimization must
 // still fail at its reduced decision limit.

@@ -205,6 +205,78 @@ TEST(GoldenDeterminism, ReplayReproducesRecordedRun) {
   EXPECT_EQ(recorded, FormatSummary("sor", ProtocolKind::kHlrc, sys.report()));
 }
 
+// The coalesced wire plane (PR-10) is opt-in: a default-constructed config
+// must have every piece of it off, which together with
+// SummaryMatchesCheckedInGolden pins "flags off => bit-identical to the
+// pre-coalescing golden" for all four protocol families.
+TEST(GoldenDeterminism, CoalescedWirePlaneIsOffByDefault) {
+  SimConfig cfg;
+  EXPECT_FALSE(cfg.network.coalesce);
+  EXPECT_FALSE(cfg.protocol.coalesce);
+  EXPECT_FALSE(cfg.reliability.piggyback_acks);
+  EXPECT_EQ(cfg.protocol.barrier_arity, 0);
+}
+
+// Coalesce-on runs: deterministic, correct, and frame-accounting-consistent.
+AppRunResult RunCoalesced(const std::string& app_name, ProtocolKind kind) {
+  std::unique_ptr<App> app = MakeApp(app_name, AppScale::kTiny);
+  SimConfig cfg;
+  cfg.nodes = kNodes;
+  cfg.protocol.kind = kind;
+  cfg.network.coalesce = true;
+  cfg.protocol.coalesce = true;
+  cfg.protocol.barrier_arity = 4;
+  return RunApp(*app, cfg);
+}
+
+// Logical protocol messages inside the frames: everything except standalone
+// acks and the bundle frames themselves (each bundle is counted once per
+// carried part).
+int64_t LogicalMsgs(const NodeReport& t) {
+  int64_t n = 0;
+  for (size_t i = 0; i < t.traffic.msgs_by_type.size(); ++i) {
+    if (i == static_cast<size_t>(MsgType::kAck) ||
+        i == static_cast<size_t>(MsgType::kBundle)) {
+      continue;
+    }
+    n += t.traffic.msgs_by_type[i];
+  }
+  return n;
+}
+
+TEST(GoldenDeterminism, CoalescedRunsAreBitIdenticalAndLogicallyEquivalent) {
+  for (ProtocolKind kind : {ProtocolKind::kLrc, ProtocolKind::kOlrc, ProtocolKind::kHlrc,
+                            ProtocolKind::kOhlrc}) {
+    const AppRunResult a = RunCoalesced("sor", kind);
+    const AppRunResult b = RunCoalesced("sor", kind);
+    ASSERT_TRUE(a.verified) << ProtocolName(kind) << ": " << a.why;
+    EXPECT_EQ(FormatSummary("sor", kind, a.report), FormatSummary("sor", kind, b.report))
+        << ProtocolName(kind) << ": coalesce-on run is not deterministic";
+
+    const NodeReport on = a.report.Totals();
+    // Frame accounting must balance exactly: each bundle replaces its parts
+    // with one frame, and (without reliability) there are no ack frames.
+    EXPECT_EQ(on.traffic.msgs_sent,
+              LogicalMsgs(on) - on.traffic.msgs_coalesced + on.traffic.frames_coalesced +
+                  on.traffic.acks_sent)
+        << ProtocolName(kind);
+    EXPECT_EQ(on.traffic.acks_sent, 0) << ProtocolName(kind);
+
+    // Against the plain run: the program-driven counters cannot move (the
+    // wire plane repacks frames, it does not change what the app does), and
+    // coalescing never adds frames.
+    std::unique_ptr<App> app = MakeApp("sor", AppScale::kTiny);
+    SimConfig cfg;
+    cfg.nodes = kNodes;
+    cfg.protocol.kind = kind;
+    const AppRunResult plain = RunApp(*app, cfg);
+    const NodeReport off = plain.report.Totals();
+    EXPECT_EQ(on.proto.barriers, off.proto.barriers) << ProtocolName(kind);
+    EXPECT_EQ(on.proto.lock_acquires, off.proto.lock_acquires) << ProtocolName(kind);
+    EXPECT_LE(on.traffic.msgs_sent, off.traffic.msgs_sent) << ProtocolName(kind);
+  }
+}
+
 TEST(GoldenDeterminism, SummaryMatchesCheckedInGolden) {
   const std::string actual = BuildSummary();
   if (std::getenv("HLRC_REGEN_GOLDEN") != nullptr) {

@@ -56,15 +56,21 @@ Message MakeMsg(NodeId src, NodeId dst, MsgType type = MsgType::kPageRequest,
 // records the types it receives in delivery order.
 struct Rig {
   Rig(SimTime retry_timeout, int max_retries, FaultHook* fault_hook)
-      : net(&engine, 2, NetworkConfig{}) {
-    ReliabilityConfig rc;
-    rc.enabled = true;
-    rc.retry_timeout = retry_timeout;
-    rc.max_retries = max_retries;
+      : Rig(MakeConfig(retry_timeout, max_retries), fault_hook) {}
+
+  Rig(ReliabilityConfig rc, FaultHook* fault_hook) : net(&engine, 2, NetworkConfig{}) {
     net.EnableReliableDelivery(rc);
     net.SetFaultHook(fault_hook);
     net.SetHandler(0, [this](Message m) { received0.push_back(m.type); });
     net.SetHandler(1, [this](Message m) { received1.push_back(m.type); });
+  }
+
+  static ReliabilityConfig MakeConfig(SimTime retry_timeout, int max_retries) {
+    ReliabilityConfig rc;
+    rc.enabled = true;
+    rc.retry_timeout = retry_timeout;
+    rc.max_retries = max_retries;
+    return rc;
   }
 
   Engine engine;
@@ -181,6 +187,114 @@ TEST(ReliableChannel, TransientPartitionHealsWithinRetryBudget) {
   ASSERT_EQ(rig.received1.size(), 1u);
   EXPECT_GE(rig.net.NodeStats(0).msgs_retransmitted, 1);
   EXPECT_GE(injector.counters().partition_dropped, 1);
+  EXPECT_EQ(rig.net.reliable_channel()->UnackedCount(), 0);
+}
+
+TEST(ReliableChannel, PiggybackAckRidesReverseDataFrame) {
+  // Request/reply exchange with piggybacking on: the reply leaves well within
+  // the ack deadline, so the request's ack rides it instead of costing a
+  // standalone frame. Only the final reply (no reverse traffic after it) needs
+  // a deadline-flushed standalone ack.
+  ScriptedHook hook;  // Clean fabric.
+  ReliabilityConfig rc = Rig::MakeConfig(Millis(10), 12);
+  rc.piggyback_acks = true;
+  Rig rig(rc, &hook);
+  rig.net.SetHandler(1, [&rig](Message m) {
+    rig.received1.push_back(m.type);
+    rig.net.Send(MakeMsg(1, 0, MsgType::kPageReply));
+  });
+
+  rig.net.Send(MakeMsg(0, 1));
+  rig.engine.Run();
+
+  ASSERT_EQ(rig.received1.size(), 1u);
+  ASSERT_EQ(rig.received0.size(), 1u);
+  EXPECT_EQ(rig.net.NodeStats(1).acks_piggybacked, 1);
+  EXPECT_EQ(rig.net.NodeStats(1).acks_sent, 0);  // Its ack rode the reply.
+  EXPECT_EQ(rig.net.NodeStats(0).acks_sent, 1);  // Deadline flush for the reply.
+  EXPECT_EQ(rig.net.TotalStats().msgs_retransmitted, 0);
+  EXPECT_EQ(rig.net.reliable_channel()->UnackedCount(), 0);
+}
+
+TEST(ReliableChannel, PiggybackDeadlineCombinesStandaloneAcks) {
+  // No reverse traffic at all: the deadline fires and flushes every owed seq
+  // in ONE multi-seq standalone ack frame, not one frame per data frame.
+  ScriptedHook hook;
+  ReliabilityConfig rc = Rig::MakeConfig(Millis(10), 12);
+  rc.piggyback_acks = true;
+  Rig rig(rc, &hook);
+
+  rig.net.Send(MakeMsg(0, 1));
+  rig.net.Send(MakeMsg(0, 1, MsgType::kDiffRequest));
+  rig.engine.Run();
+
+  ASSERT_EQ(rig.received1.size(), 2u);
+  EXPECT_EQ(rig.net.NodeStats(1).acks_sent, 1);  // Two seqs, one ack frame.
+  EXPECT_EQ(rig.net.NodeStats(1).acks_piggybacked, 0);
+  EXPECT_EQ(rig.net.TotalStats().msgs_retransmitted, 0);
+  EXPECT_EQ(rig.net.reliable_channel()->UnackedCount(), 0);
+}
+
+TEST(ReliableChannel, PiggybackedAckSurvivesRetransmissionOfItsCarrier) {
+  // The request's ack is attached to the reply frame; the reply's first
+  // physical copy is lost. Losing the carrier loses the ack with it, so the
+  // requester times out and retransmits the request (which the receiver
+  // dup-drops and re-acks). The retransmitted reply must still carry the
+  // original piggybacked ack (the seqs stay attached to the frame), it must
+  // be counted once — not once per physical copy — and the late duplicate
+  // ack copies must retire nothing twice.
+  ScriptedHook hook;
+  hook.Push({});  // Request 0->1 arrives fine.
+  FaultDecision drop;
+  drop.drop = true;
+  hook.Push(drop);  // Reply 1->0 (carrying the piggybacked ack) is lost.
+  ReliabilityConfig rc = Rig::MakeConfig(Millis(5), 12);
+  rc.piggyback_acks = true;
+  Rig rig(rc, &hook);
+  rig.net.SetHandler(1, [&rig](Message m) {
+    rig.received1.push_back(m.type);
+    rig.net.Send(MakeMsg(1, 0, MsgType::kPageReply));
+  });
+
+  rig.net.Send(MakeMsg(0, 1));
+  rig.engine.Run();
+
+  ASSERT_EQ(rig.received0.size(), 1u);  // Reply delivered exactly once.
+  ASSERT_EQ(rig.received1.size(), 1u);  // Request too.
+  EXPECT_EQ(rig.net.NodeStats(1).msgs_retransmitted, 1);  // The reply.
+  EXPECT_EQ(rig.net.NodeStats(0).msgs_retransmitted, 1);  // The orphaned request.
+  EXPECT_EQ(rig.net.NodeStats(1).msgs_duplicated_dropped, 1);
+  EXPECT_EQ(rig.net.NodeStats(1).acks_piggybacked, 1);  // Counted once, not per copy.
+  EXPECT_EQ(rig.net.reliable_channel()->UnackedCount(), 0);
+}
+
+TEST(ReliableChannel, DuplicateAckAfterRetransmitIsIdempotent) {
+  // Regression: the first ack is delayed past the retry timeout, so the
+  // sender retransmits and the receiver re-acks. Both acks eventually arrive
+  // for the same seq; the second must be a pure no-op — it must not
+  // double-decrement the retransmit backlog, record a second (negative)
+  // retransmit-latency sample, or touch an already-erased entry (this test
+  // runs under ASan/UBSan in the sanitizer suite).
+  // The delayed first ack also holds the later re-acks behind it (the link
+  // preserves physical FIFO), so several retransmissions pile up and every
+  // one of their acks arrives after the entry was already retired.
+  ScriptedHook hook;
+  hook.Push({});  // Data frame arrives fine.
+  FaultDecision late;
+  late.extra_delay = Millis(5);
+  hook.Push(late);  // Its ack is delayed past the 500us retry timeout.
+  Rig rig(Micros(500), 12, &hook);
+
+  rig.net.Send(MakeMsg(0, 1));
+  rig.engine.Run();
+
+  ASSERT_EQ(rig.received1.size(), 1u);  // Delivered exactly once.
+  const int64_t retx = rig.net.NodeStats(0).msgs_retransmitted;
+  EXPECT_GE(retx, 1);
+  // Each physical data arrival is re-acked and then dup-dropped; each ack
+  // beyond the first finds the seq already retired and must change nothing.
+  EXPECT_EQ(rig.net.NodeStats(1).msgs_duplicated_dropped, retx);
+  EXPECT_EQ(rig.net.NodeStats(1).acks_sent, retx + 1);
   EXPECT_EQ(rig.net.reliable_channel()->UnackedCount(), 0);
 }
 

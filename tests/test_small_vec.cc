@@ -1,0 +1,145 @@
+// Directed regressions for SmallVec (src/mem/small_vec.h), the memcpy-based
+// inline vector behind IntervalRecord::pages. The interesting states are the
+// inline<->heap spill boundary and aliased arguments: growth reallocates, so
+// any reference into the vector's own storage dangles across it. Run under
+// ASan (HLRC_SANITIZE=ON) these tests are failing-before/passing-after for
+// the push_back-from-self-across-growth bug.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <utility>
+
+#include "src/mem/small_vec.h"
+
+namespace hlrc {
+namespace {
+
+using Vec = SmallVec<uint64_t, 2>;
+
+Vec MakeInline() { return Vec{1, 2}; }           // size 2 == N: no heap.
+Vec MakeHeap() { return Vec{10, 20, 30, 40}; }   // spilled to heap.
+
+void ExpectSeq(const Vec& v, std::initializer_list<uint64_t> want) {
+  ASSERT_EQ(v.size(), want.size());
+  size_t i = 0;
+  for (uint64_t w : want) {
+    EXPECT_EQ(v[i], w) << "index " << i;
+    ++i;
+  }
+}
+
+TEST(SmallVec, InlineUntilCapacityThenSpills) {
+  Vec v;
+  v.push_back(1);
+  v.push_back(2);
+  EXPECT_EQ(v.capacity(), Vec::inline_capacity());
+  v.push_back(3);
+  EXPECT_GT(v.capacity(), Vec::inline_capacity());
+  ExpectSeq(v, {1, 2, 3});
+}
+
+// push_back of an element of the vector itself, across the inline->heap
+// spill. The reference aliases inline_ which stays valid through Grow, but
+// the value must be read before size_/storage bookkeeping moves.
+TEST(SmallVec, PushBackOwnElementAcrossInlineSpill) {
+  Vec v{7, 8};
+  v.push_back(v[0]);
+  ExpectSeq(v, {7, 8, 7});
+}
+
+// push_back of an element of the vector itself across heap->heap growth:
+// Grow deletes the old heap buffer, so reading `v` after it is a
+// use-after-free. This is the ASan failing-before case.
+TEST(SmallVec, PushBackOwnElementAcrossHeapGrowth) {
+  Vec v;
+  for (uint64_t i = 0; i < 4; ++i) {
+    v.push_back(100 + i);  // size 4 == cap 4, on heap; next push grows.
+  }
+  ASSERT_EQ(v.size(), v.capacity());
+  v.push_back(v[1]);
+  ExpectSeq(v, {100, 101, 102, 103, 101});
+}
+
+TEST(SmallVec, SelfCopyAssignInline) {
+  Vec v = MakeInline();
+  v = *&v;  // *& defeats -Wself-assign without changing semantics.
+  ExpectSeq(v, {1, 2});
+}
+
+TEST(SmallVec, SelfCopyAssignHeap) {
+  Vec v = MakeHeap();
+  v = *&v;
+  ExpectSeq(v, {10, 20, 30, 40});
+}
+
+TEST(SmallVec, SelfMoveAssignIsHarmless) {
+  Vec v = MakeHeap();
+  Vec& alias = v;
+  v = std::move(alias);
+  ExpectSeq(v, {10, 20, 30, 40});
+}
+
+// Destination holding a heap buffer, source inline: the destination may keep
+// its buffer for reuse but must expose exactly the source's elements.
+TEST(SmallVec, HeapToInlineCopyAssign) {
+  Vec dst = MakeHeap();
+  const Vec src = MakeInline();
+  dst = src;
+  ExpectSeq(dst, {1, 2});
+}
+
+TEST(SmallVec, InlineToHeapCopyAssign) {
+  Vec dst = MakeInline();
+  const Vec src = MakeHeap();
+  dst = src;
+  ExpectSeq(dst, {10, 20, 30, 40});
+}
+
+TEST(SmallVec, MoveAssignTransfersHeapBuffer) {
+  Vec dst = MakeInline();
+  Vec src = MakeHeap();
+  const uint64_t* buf = src.data();
+  dst = std::move(src);
+  EXPECT_EQ(dst.data(), buf) << "heap buffer should transfer, not copy";
+  ExpectSeq(dst, {10, 20, 30, 40});
+  EXPECT_TRUE(src.empty());
+}
+
+// A moved-from SmallVec must be assignable and usable: StealFrom leaves it
+// {heap_=nullptr, cap_=N, size_=0}, i.e. a fresh inline vector.
+TEST(SmallVec, AssignIntoMovedFrom) {
+  Vec moved_from = MakeHeap();
+  Vec sink = std::move(moved_from);
+  ExpectSeq(sink, {10, 20, 30, 40});
+
+  moved_from = MakeInline();
+  ExpectSeq(moved_from, {1, 2});
+
+  Vec heap_again = MakeHeap();
+  moved_from = heap_again;
+  ExpectSeq(moved_from, {10, 20, 30, 40});
+
+  moved_from.push_back(50);
+  ExpectSeq(moved_from, {10, 20, 30, 40, 50});
+}
+
+TEST(SmallVec, ClearKeepsHeapBufferForReuse) {
+  Vec v = MakeHeap();
+  const uint64_t* buf = v.data();
+  v.clear();
+  EXPECT_TRUE(v.empty());
+  v.push_back(1);
+  EXPECT_EQ(v.data(), buf);
+}
+
+TEST(SmallVec, EqualityComparesElementsNotStorage) {
+  Vec heap = MakeHeap();
+  heap.clear();
+  heap.push_back(1);
+  heap.push_back(2);  // size 2 but heap-backed.
+  const Vec inline_v = MakeInline();
+  EXPECT_TRUE(heap == inline_v);
+}
+
+}  // namespace
+}  // namespace hlrc

@@ -30,6 +30,9 @@
 //   --mutation=NAME       none | hlrc-skip-diff-apply | lrc-skip-invalidate
 //   --fault-drop=P        compose with fault injection: drop probability
 //                         (enables the reliable channel automatically)
+//   --coalesce            coalesced wire plane (frame packing, request
+//                         combining; piggybacked acks with --fault-drop)
+//   --barrier-arity=N     combining barrier tree of arity N (0 = flat)
 //   --stop-on-failure     stop a sweep at its first failing seed
 //   --replay-seed=N       run exactly one seed and print its chaos decision
 //                         trace (scheduler decisions — neither an execution
@@ -67,6 +70,8 @@ struct Options {
   bool permute = true;
   TestMutation mutation = TestMutation::kNone;
   double fault_drop = 0.0;
+  bool coalesce = false;
+  int barrier_arity = 0;
   bool stop_on_failure = false;
   bool replay = false;
   uint64_t replay_seed = 0;
@@ -94,6 +99,9 @@ const ToolInfo kTool = {
     "  --no-permute          disable the same-time event permutation\n"
     "  --mutation=NAME       none | hlrc-skip-diff-apply | lrc-skip-invalidate\n"
     "  --fault-drop=P        compose with fault injection: drop probability\n"
+    "  --coalesce            coalesced wire plane (frame packing, request\n"
+    "                        combining; piggybacked acks with --fault-drop)\n"
+    "  --barrier-arity=N     combining barrier tree of arity N (0 = flat)\n"
     "  --stop-on-failure     stop a sweep at its first failing seed\n"
     "  --replay-seed=N       run exactly one seed (requires --limit)\n"
     "  --limit=N             decision limit for --replay-seed\n"
@@ -185,6 +193,13 @@ Options Parse(int argc, char** argv) {
       o.mutation = ParseMutation(val("--mutation="));
     } else if (arg.rfind("--fault-drop=", 0) == 0) {
       o.fault_drop = std::atof(val("--fault-drop=").c_str());
+    } else if (arg == "--coalesce") {
+      o.coalesce = true;
+    } else if (arg.rfind("--barrier-arity=", 0) == 0) {
+      o.barrier_arity = std::atoi(val("--barrier-arity=").c_str());
+      if (o.barrier_arity < 0) {
+        UsageError(kTool, "--barrier-arity must be >= 0");
+      }
     } else if (arg == "--stop-on-failure") {
       o.stop_on_failure = true;
     } else if (arg.rfind("--replay-seed=", 0) == 0) {
@@ -246,6 +261,8 @@ CheckConfig BaseConfig(const Options& o, const std::string& litmus, ProtocolKind
     cfg.fault.drop_prob = o.fault_drop;
     cfg.reliability.enabled = true;
   }
+  cfg.coalesce = o.coalesce;
+  cfg.barrier_arity = o.barrier_arity;
   return cfg;
 }
 

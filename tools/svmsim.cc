@@ -53,6 +53,9 @@
 //   --reliable            enable ack/retransmit delivery (implied by faults)
 //   --retry-timeout=US    retransmit timeout in microseconds (default 10000)
 //   --retry-max=N         retransmissions per message before aborting
+//   --coalesce            coalesced wire plane (frame packing, ack
+//                         piggybacking, request combining)
+//   --barrier-arity=N     combining barrier tree of arity N (0 = flat)
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
@@ -109,6 +112,8 @@ struct Options {
   bool reliable = false;
   SimTime retry_timeout = Micros(10000);
   int retry_max = 12;
+  bool coalesce = false;
+  int barrier_arity = 0;
   bool coverage = false;
 };
 
@@ -146,6 +151,12 @@ const ToolInfo kTool = {
     "  --reliable            enable ack/retransmit delivery (implied by faults)\n"
     "  --retry-timeout=US    retransmit timeout (default 10000)\n"
     "  --retry-max=N         retransmissions per message before aborting\n"
+    "  --coalesce            coalesced wire plane: same-tick sends to one peer\n"
+    "                        packed into multi-part frames, acks piggybacked on\n"
+    "                        data (with --reliable), page requests combined at\n"
+    "                        the home\n"
+    "  --barrier-arity=N     combining barrier tree of arity N (default 0 =\n"
+    "                        flat all-to-manager barrier)\n"
     "  --list                print application and protocol names\n",
 };
 
@@ -257,6 +268,13 @@ Options Parse(int argc, char** argv) {
     } else if (arg.rfind("--retry-max=", 0) == 0) {
       o.retry_max = std::atoi(val("--retry-max=").c_str());
       o.reliable = true;
+    } else if (arg == "--coalesce") {
+      o.coalesce = true;
+    } else if (arg.rfind("--barrier-arity=", 0) == 0) {
+      o.barrier_arity = std::atoi(val("--barrier-arity=").c_str());
+      if (o.barrier_arity < 0) {
+        UsageError(kTool, "--barrier-arity must be >= 0");
+      }
     } else if (arg == "--migrate-homes") {
       o.migrate_homes = true;
     } else if (arg == "--per-node") {
@@ -328,6 +346,13 @@ int Main(int argc, char** argv) {
     cfg.reliability.retry_timeout = o.retry_timeout;
     cfg.reliability.max_retries = o.retry_max;
   }
+  if (o.coalesce) {
+    cfg.network.coalesce = true;
+    cfg.protocol.coalesce = true;
+    // Ack piggybacking only matters once acks exist at all.
+    cfg.reliability.piggyback_acks = cfg.reliability.enabled;
+  }
+  cfg.protocol.barrier_arity = o.barrier_arity;
 
   std::unique_ptr<App> app;
   if (replay_app != nullptr) {
@@ -416,6 +441,11 @@ int Main(int argc, char** argv) {
                 static_cast<long long>(cfg.reliability.retry_timeout / 1000),
                 cfg.reliability.retry_backoff, cfg.reliability.max_retries);
   }
+  if (o.coalesce || o.barrier_arity >= 2) {
+    std::printf("wire plane: coalesce=%s piggyback=%s barrier-arity=%d\n",
+                o.coalesce ? "on" : "off",
+                cfg.reliability.piggyback_acks ? "on" : "off", o.barrier_arity);
+  }
   std::printf("verification: %s%s\n\n", verified ? "OK" : "FAILED ",
               verified ? "" : why.c_str());
 
@@ -438,6 +468,12 @@ int Main(int argc, char** argv) {
     summary.AddRow({"Dropped in net", Table::Fmt(totals.traffic.msgs_dropped_in_net)});
     summary.AddRow({"Duplicates dropped", Table::Fmt(totals.traffic.msgs_duplicated_dropped)});
     summary.AddRow({"Acks", Table::Fmt(totals.traffic.acks_sent)});
+  }
+  if (o.coalesce || o.barrier_arity >= 2) {
+    summary.AddRow({"Coalesced frames", Table::Fmt(totals.traffic.frames_coalesced)});
+    summary.AddRow({"Messages coalesced", Table::Fmt(totals.traffic.msgs_coalesced)});
+    summary.AddRow({"Acks piggybacked", Table::Fmt(totals.traffic.acks_piggybacked)});
+    summary.AddRow({"Page replies combined", Table::Fmt(totals.proto.page_replies_combined)});
   }
   summary.AddSeparator();
   summary.AddRow({"Read misses (avg/node)", Table::Fmt(avg.proto.read_misses)});
